@@ -1,0 +1,100 @@
+// tesolve solves one traffic-engineering instance with OPT, Demand Pinning
+// and POP side by side, printing totals, per-heuristic gaps, and link
+// utilizations. Demands are generated synthetically (uniform or gravity).
+//
+// Usage:
+//
+//	tesolve -topo abilene -model gravity -peak 40
+//	tesolve -topo b4 -model uniform -hi 30 -threshold 10 -partitions 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	metaopt "repro"
+)
+
+func main() {
+	topoName := flag.String("topo", "abilene", "topology: b4, abilene, swan, figure1, circle-N-M")
+	model := flag.String("model", "gravity", "demand model: gravity or uniform")
+	peak := flag.Float64("peak", 40, "gravity peak demand")
+	lo := flag.Float64("lo", 0, "uniform low")
+	hi := flag.Float64("hi", 40, "uniform high")
+	paths := flag.Int("paths", 2, "paths per pair")
+	threshold := flag.Float64("threshold", 5, "DP threshold")
+	partitions := flag.Int("partitions", 2, "POP partitions")
+	clientSplit := flag.Bool("clientsplit", false, "enable POP client splitting (Appendix A)")
+	splitThreshold := flag.Float64("splitthreshold", 20, "client-split threshold")
+	maxSplits := flag.Int("maxsplits", 2, "max per-client splits")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print per-link loads")
+	flag.Parse()
+
+	g, err := metaopt.TopologyByName(*topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := metaopt.AllPairs(g)
+	rng := rand.New(rand.NewSource(*seed))
+	switch *model {
+	case "gravity":
+		set.Gravity(rng, g, *peak)
+	case "uniform":
+		set.Uniform(rng, *lo, *hi)
+	default:
+		log.Fatalf("unknown demand model %q", *model)
+	}
+	inst, err := metaopt.NewInstance(g, set, *paths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d nodes, %d links; %d demands totaling %.1f\n\n",
+		g.Name(), g.NumNodes(), g.NumEdges(), set.Len(), set.Total())
+
+	opt, err := metaopt.SolveMaxFlow(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s total=%9.2f  (%.1f%% of demand)\n", "OPT (max total flow)",
+		opt.Total, 100*opt.Total/set.Total())
+
+	if metaopt.DemandPinningFeasible(inst, *threshold) {
+		dp, err := metaopt.SolveDemandPinning(inst, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s total=%9.2f  gap=%8.2f (%.2f%% of OPT)\n",
+			fmt.Sprintf("DP (threshold %.1f)", *threshold),
+			dp.Total, opt.Total-dp.Total, 100*(opt.Total-dp.Total)/opt.Total)
+	} else {
+		fmt.Printf("%-22s INFEASIBLE: pinned demands oversubscribe a link (Section 5)\n",
+			fmt.Sprintf("DP (threshold %.1f)", *threshold))
+	}
+
+	popOpts := metaopt.POPOptions{
+		Partitions: *partitions, Rng: rng,
+		ClientSplit: *clientSplit, SplitThreshold: *splitThreshold, MaxSplits: *maxSplits,
+	}
+	pop, err := metaopt.SolvePOP(inst, popOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	label := fmt.Sprintf("POP (%d partitions)", *partitions)
+	if *clientSplit {
+		label = fmt.Sprintf("POP+split (%d parts)", *partitions)
+	}
+	fmt.Printf("%-22s total=%9.2f  gap=%8.2f (%.2f%% of OPT)\n",
+		label, pop.Total, opt.Total-pop.Total, 100*(opt.Total-pop.Total)/opt.Total)
+
+	if *verbose {
+		fmt.Println("\nper-link load (OPT):")
+		loads := opt.EdgeLoads(inst)
+		for e := 0; e < g.NumEdges(); e++ {
+			edge := g.Edge(e)
+			fmt.Printf("  %2d->%-2d %8.2f / %.0f\n", edge.From, edge.To, loads[e], edge.Capacity)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// constrained demonstrates the paper's Section 3.3: searching for
+// adversarial inputs inside realistic constraint sets — near a historical
+// demand matrix (goalposts), with bounded deviation from the mean
+// (intra-input constraints), and iteratively excluding previously found
+// inputs to obtain a diverse catalogue of bad examples (Section 5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	metaopt "repro"
+)
+
+func main() {
+	pairs := flag.Int("pairs", 8, "number of demand pairs")
+	threshold := flag.Float64("threshold", 10, "DP pinning threshold")
+	seed := flag.Int64("seed", 3, "random seed")
+	budget := flag.Duration("budget", 6*time.Second, "white-box budget per search")
+	flag.Parse()
+
+	g := metaopt.Abilene()
+	rng := rand.New(rand.NewSource(*seed))
+	set := metaopt.RandomPairs(g, *pairs, rng)
+	inst, err := metaopt.NewInstance(g, set, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := metaopt.SearchOptions{TimeLimit: *budget, DepthFirst: true}
+
+	// Unconstrained worst case, as a reference point.
+	free, err := metaopt.FindDPGap(inst, *threshold, metaopt.InputConstraints{MaxDemand: 100}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unconstrained worst case:            gap %8.2f (%s)\n", free.Gap, free.Solver.Status)
+
+	// Goalpost: stay within 25%% of a gravity-model "historical" matrix.
+	hist := set.Clone()
+	hist.Gravity(rng, g, 40)
+	gp, err := metaopt.FindDPGap(inst, *threshold, metaopt.InputConstraints{
+		MaxDemand: 100,
+		Goalposts: []metaopt.Goalpost{{Reference: hist.CopyVolumes(), MaxRelDev: 0.25}},
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within 25%% of historical demands:    gap %8.2f (%s)\n", gp.Gap, gp.Solver.Status)
+
+	// Intra-input constraint: all demands within 10 units of the mean.
+	mean, err := metaopt.FindDPGap(inst, *threshold, metaopt.InputConstraints{
+		MaxDemand:      100,
+		MaxDevFromMean: 10,
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all demands near the mean (+/-10):   gap %8.2f (%s)\n\n", mean.Gap, mean.Solver.Status)
+
+	// Diverse inputs: re-search while excluding earlier answers.
+	fmt.Println("diverse bad inputs (each at least 15 units from all previous, in some coordinate):")
+	exclusions := [][]float64{}
+	for i := 0; i < 3; i++ {
+		res, err := metaopt.FindDPGap(inst, *threshold, metaopt.InputConstraints{
+			MaxDemand:       100,
+			Exclusions:      exclusions,
+			ExclusionRadius: 15,
+		}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Demands == nil {
+			fmt.Printf("  #%d: no further input found (%v)\n", i+1, res.Solver.Status)
+			break
+		}
+		fmt.Printf("  #%d: gap %8.2f, demands %v\n", i+1, res.Gap, compact(res.Demands))
+		exclusions = append(exclusions, res.Demands)
+	}
+}
+
+func compact(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(int(x*10+0.5)) / 10
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+// Package blackbox implements the local-search baselines of Section 3.4:
+// hill climbing (Algorithm 1) and simulated annealing. Both treat the gap
+// function OPT(I) - Heuristic(I) as a black box over demand vectors and are
+// the comparison points the white-box method beats in Figure 3.
+package blackbox
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/mcf"
+)
+
+// GapFunc evaluates the gap for a demand vector. Implementations return
+// -Inf for inputs on which the heuristic is infeasible (DP pinning can
+// oversubscribe a link), which local search treats as "never move there".
+type GapFunc func(demands []float64) (float64, error)
+
+// DPGap returns the gap function OPT - DemandPinning on the instance.
+func DPGap(inst *mcf.Instance, threshold float64) GapFunc {
+	return func(d []float64) (float64, error) {
+		at := inst.WithVolumes(d)
+		dp, err := mcf.SolveDemandPinning(at, threshold)
+		if errors.Is(err, mcf.ErrInfeasible) {
+			return math.Inf(-1), nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		opt, err := mcf.SolveMaxFlow(at)
+		if err != nil {
+			return 0, err
+		}
+		return opt.Total - dp.Total, nil
+	}
+}
+
+// ConcurrentDPGap returns the gap function for the max-concurrent-flow
+// objective: lambda_OPT - lambda_DP. The white-box rewrite does not apply
+// to this objective (its inner rows couple lambda with the outer demand
+// volumes), so black-box search is the supported way to attack it.
+func ConcurrentDPGap(inst *mcf.Instance, threshold float64) GapFunc {
+	return func(d []float64) (float64, error) {
+		at := inst.WithVolumes(d)
+		_, lamDP, err := mcf.SolveDemandPinningConcurrent(at, threshold)
+		if errors.Is(err, mcf.ErrInfeasible) {
+			return math.Inf(-1), nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		_, lamOpt, err := mcf.SolveMaxConcurrent(at)
+		if err != nil {
+			return 0, err
+		}
+		return lamOpt - lamDP, nil
+	}
+}
+
+// POPGap returns the gap function OPT - mean POP total over the given fixed
+// partition assignments — the same descriptor the white-box search
+// optimizes, so the two methods compete on equal footing.
+func POPGap(inst *mcf.Instance, assignments [][]int, partitions int) GapFunc {
+	return func(d []float64) (float64, error) {
+		at := inst.WithVolumes(d)
+		opt, err := mcf.SolveMaxFlow(at)
+		if err != nil {
+			return 0, err
+		}
+		n := at.Demands.Len()
+		clients := make([]mcf.Client, n)
+		for k := 0; k < n; k++ {
+			clients[k] = mcf.Client{Demand: k, Volume: at.Demands.Volume(k)}
+		}
+		sum := 0.0
+		for _, a := range assignments {
+			f, err := mcf.SolvePOPAssigned(at, clients, a, partitions)
+			if err != nil {
+				return 0, err
+			}
+			sum += f.Total
+		}
+		return opt.Total - sum/float64(len(assignments)), nil
+	}
+}
+
+// TracePoint records the best gap known at a moment of the search — the
+// data behind Figure 3's gap-versus-time curves.
+type TracePoint struct {
+	Elapsed time.Duration
+	Gap     float64
+	Evals   int
+}
+
+// Result is the outcome of a local search.
+type Result struct {
+	Demands []float64
+	Gap     float64
+	Evals   int
+	Elapsed time.Duration
+	Trace   []TracePoint
+}
+
+// Options tunes both local searches. The paper's settings: Sigma is 10% of
+// link capacity, K = 100 neighbor draws before declaring a local maximum,
+// and the restart count is set by the latency budget.
+type Options struct {
+	// MinDemand/MaxDemand bound every demand (the search box).
+	MinDemand, MaxDemand float64
+	// Sigma is the neighbor-step standard deviation.
+	Sigma float64
+	// K is the patience: neighbors evaluated without improvement before the
+	// current point is declared a local maximum (Algorithm 1's K).
+	K int
+	// Restarts caps random restarts (M_hc / M_sa); 0 means restart until
+	// Budget expires.
+	Restarts int
+	// Budget is the wall-clock latency budget; 0 means no limit (Restarts
+	// must then be positive).
+	Budget time.Duration
+	// Rng is required, keeping every search reproducible.
+	Rng *rand.Rand
+}
+
+func (o *Options) validate() error {
+	if o.MaxDemand <= 0 || o.MinDemand < 0 || o.MinDemand > o.MaxDemand {
+		return fmt.Errorf("blackbox: bad demand box [%g, %g]", o.MinDemand, o.MaxDemand)
+	}
+	if o.Sigma <= 0 {
+		return fmt.Errorf("blackbox: Sigma must be > 0")
+	}
+	if o.K <= 0 {
+		return fmt.Errorf("blackbox: K must be > 0")
+	}
+	if o.Restarts <= 0 && o.Budget <= 0 {
+		return fmt.Errorf("blackbox: need Restarts or Budget")
+	}
+	if o.Rng == nil {
+		return fmt.Errorf("blackbox: need a seeded Rng")
+	}
+	return nil
+}
+
+func (o *Options) clamp(x float64) float64 {
+	if x < o.MinDemand {
+		return o.MinDemand
+	}
+	if x > o.MaxDemand {
+		return o.MaxDemand
+	}
+	return x
+}
+
+func (o *Options) randomStart(n int) []float64 {
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = o.MinDemand + o.Rng.Float64()*(o.MaxDemand-o.MinDemand)
+	}
+	return d
+}
+
+func (o *Options) neighbor(d []float64) []float64 {
+	out := make([]float64, len(d))
+	for i := range d {
+		out[i] = o.clamp(d[i] + o.Rng.NormFloat64()*o.Sigma)
+	}
+	return out
+}
+
+// search runs restarts of a single-start strategy, tracking the best point.
+type search struct {
+	opts    *Options
+	start   time.Time
+	best    []float64
+	bestGap float64
+	evals   int
+	trace   []TracePoint
+}
+
+func newSearch(o *Options) *search {
+	return &search{opts: o, start: time.Now(), bestGap: math.Inf(-1)}
+}
+
+func (s *search) expired() bool {
+	return s.opts.Budget > 0 && time.Since(s.start) >= s.opts.Budget
+}
+
+func (s *search) observe(d []float64, gap float64) {
+	s.evals++
+	if gap > s.bestGap {
+		s.bestGap = gap
+		s.best = append([]float64(nil), d...)
+		s.trace = append(s.trace, TracePoint{Elapsed: time.Since(s.start), Gap: gap, Evals: s.evals})
+	}
+}
+
+func (s *search) result() *Result {
+	return &Result{
+		Demands: s.best,
+		Gap:     s.bestGap,
+		Evals:   s.evals,
+		Elapsed: time.Since(s.start),
+		Trace:   s.trace,
+	}
+}
+
+// HillClimb implements Algorithm 1 with random restarts.
+func HillClimb(gap GapFunc, n int, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	s := newSearch(&opts)
+	for restart := 0; opts.Restarts <= 0 || restart < opts.Restarts; restart++ {
+		if s.expired() {
+			break
+		}
+		d := opts.randomStart(n)
+		g, err := gap(d)
+		if err != nil {
+			return nil, err
+		}
+		s.observe(d, g)
+		for k := 0; k < opts.K && !s.expired(); k++ {
+			aux := opts.neighbor(d)
+			ag, err := gap(aux)
+			if err != nil {
+				return nil, err
+			}
+			s.observe(aux, ag)
+			if ag > g {
+				d, g = aux, ag
+				k = -1 // Algorithm 1: reset patience on improvement
+			}
+		}
+		if opts.Budget <= 0 && opts.Restarts <= 0 {
+			break
+		}
+	}
+	return s.result(), nil
+}
+
+// SAOptions extends Options with the annealing schedule: temperature starts
+// at T0 and is multiplied by Gamma every KP iterations (paper: T0 = 500,
+// Gamma = 0.1, KP = 100).
+type SAOptions struct {
+	Options
+	T0    float64
+	Gamma float64
+	KP    int
+}
+
+func (o *SAOptions) validate() error {
+	if err := o.Options.validate(); err != nil {
+		return err
+	}
+	if o.T0 <= 0 || o.Gamma <= 0 || o.Gamma >= 1 || o.KP <= 0 {
+		return fmt.Errorf("blackbox: bad annealing schedule T0=%g Gamma=%g KP=%d", o.T0, o.Gamma, o.KP)
+	}
+	return nil
+}
+
+// SimulatedAnneal implements the annealed variant of Section 3.4: a
+// non-improving neighbor is still accepted with probability
+// exp((gap_aux - gap)/t).
+func SimulatedAnneal(gap GapFunc, n int, opts SAOptions) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	s := newSearch(&opts.Options)
+	for restart := 0; opts.Restarts <= 0 || restart < opts.Restarts; restart++ {
+		if s.expired() {
+			break
+		}
+		d := opts.randomStart(n)
+		g, err := gap(d)
+		if err != nil {
+			return nil, err
+		}
+		s.observe(d, g)
+		temp := opts.T0
+		sinceImprove := 0
+		for iter := 0; sinceImprove < opts.K && !s.expired(); iter++ {
+			if iter > 0 && iter%opts.KP == 0 {
+				temp *= opts.Gamma
+			}
+			aux := opts.neighbor(d)
+			ag, err := gap(aux)
+			if err != nil {
+				return nil, err
+			}
+			s.observe(aux, ag)
+			switch {
+			case ag > g:
+				d, g = aux, ag
+				sinceImprove = 0
+			default:
+				sinceImprove++
+				// Accept downhill moves with annealing probability. A -Inf
+				// gap (infeasible heuristic input) gives probability zero.
+				if p := math.Exp((ag - g) / temp); opts.Rng.Float64() < p {
+					d, g = aux, ag
+				}
+			}
+		}
+		if opts.Budget <= 0 && opts.Restarts <= 0 {
+			break
+		}
+	}
+	return s.result(), nil
+}

@@ -1,0 +1,224 @@
+package blackbox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/mcf"
+	"repro/internal/topology"
+)
+
+func figure1Instance(t *testing.T) *mcf.Instance {
+	t.Helper()
+	g := topology.Figure1()
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	inst, err := mcf.NewInstance(g, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func defaultOpts(seed int64) Options {
+	return Options{
+		MaxDemand: 100,
+		Sigma:     10, // 10% of link capacity, as in the paper
+		K:         100,
+		Restarts:  6,
+		Rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+func TestDPGapFuncMatchesDirectSolvers(t *testing.T) {
+	inst := figure1Instance(t)
+	gap := DPGap(inst, 50)
+	g, err := gap([]float64{100, 100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-100) > 1e-5 {
+		t.Fatalf("gap=%v, want 100", g)
+	}
+	// Infeasible pinning maps to -Inf, not an error: with threshold 60,
+	// demands 0->1: 60 and 0->2: 60 are both pinned and share edge 0->1
+	// (capacity 100).
+	gap60 := DPGap(inst, 60)
+	g, err = gap60([]float64{60, 0, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(g, -1) {
+		t.Fatalf("infeasible input gap=%v, want -Inf", g)
+	}
+}
+
+func TestHillClimbFindsPositiveGapOnFigure1(t *testing.T) {
+	inst := figure1Instance(t)
+	res, err := HillClimb(DPGap(inst, 50), 3, defaultOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gap <= 0 {
+		t.Fatalf("hill climbing found no positive gap (%v)", res.Gap)
+	}
+	if res.Gap > 100+1e-6 {
+		t.Fatalf("gap %v exceeds the known optimum 100", res.Gap)
+	}
+	if res.Evals == 0 || res.Demands == nil {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+	// Trace must be nondecreasing in gap and time.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Gap < res.Trace[i-1].Gap {
+			t.Fatalf("trace regressed at %d", i)
+		}
+		if res.Trace[i].Elapsed < res.Trace[i-1].Elapsed {
+			t.Fatalf("trace time regressed at %d", i)
+		}
+	}
+}
+
+func TestSimulatedAnnealFindsPositiveGapOnFigure1(t *testing.T) {
+	inst := figure1Instance(t)
+	opts := SAOptions{Options: defaultOpts(2), T0: 500, Gamma: 0.1, KP: 100}
+	res, err := SimulatedAnneal(DPGap(inst, 50), 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gap <= 0 {
+		t.Fatalf("simulated annealing found no positive gap (%v)", res.Gap)
+	}
+	if res.Gap > 100+1e-6 {
+		t.Fatalf("gap %v exceeds the known optimum 100", res.Gap)
+	}
+}
+
+func TestBudgetStopsSearch(t *testing.T) {
+	inst := figure1Instance(t)
+	opts := defaultOpts(3)
+	opts.Restarts = 0
+	opts.Budget = 30 * time.Millisecond
+	start := time.Now()
+	res, err := HillClimb(DPGap(inst, 50), 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budget ignored: ran %v", elapsed)
+	}
+	if res.Evals == 0 {
+		t.Fatal("no evaluations before budget")
+	}
+}
+
+func TestPOPGapFunc(t *testing.T) {
+	g := topology.Line(3)
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	inst, err := mcf.NewInstance(g, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignments := [][]int{{0, 0, 1}, {0, 1, 0}}
+	gap := POPGap(inst, assignments, 2)
+	v, err := gap([]float64{100, 100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OPT carries 200. Each POP partition halves capacities to 50:
+	// assignment {0,0,1}: partition 0 carries 50+50, partition 1 carries 0
+	// => 100. Assignment {0,1,0}: partitions carry 50 and 50 => 100.
+	// Mean POP = 100, gap = 100.
+	if math.Abs(v-100) > 1e-5 {
+		t.Fatalf("POP gap=%v, want 100", v)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	inst := figure1Instance(t)
+	gap := DPGap(inst, 50)
+	bad := []Options{
+		{},
+		{MaxDemand: 10, Sigma: 1, K: 10, Restarts: 1}, // no rng
+		{MaxDemand: 10, Sigma: 0, K: 10, Restarts: 1, Rng: rand.New(rand.NewSource(1))},
+		{MaxDemand: 10, Sigma: 1, K: 0, Restarts: 1, Rng: rand.New(rand.NewSource(1))},
+		{MaxDemand: 10, Sigma: 1, K: 10, Rng: rand.New(rand.NewSource(1))}, // no restarts/budget
+		{MaxDemand: 10, MinDemand: 20, Sigma: 1, K: 10, Restarts: 1, Rng: rand.New(rand.NewSource(1))},
+	}
+	for i, o := range bad {
+		if _, err := HillClimb(gap, 3, o); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+	badSA := []SAOptions{
+		{Options: defaultOpts(1), T0: 0, Gamma: 0.1, KP: 10},
+		{Options: defaultOpts(1), T0: 10, Gamma: 1.5, KP: 10},
+		{Options: defaultOpts(1), T0: 10, Gamma: 0.1, KP: 0},
+	}
+	for i, o := range badSA {
+		if _, err := SimulatedAnneal(gap, 3, o); err == nil {
+			t.Fatalf("SA case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNeighborRespectsBox(t *testing.T) {
+	o := defaultOpts(5)
+	o.MinDemand = 2
+	d := []float64{2, 100, 50}
+	for i := 0; i < 50; i++ {
+		nb := o.neighbor(d)
+		for _, x := range nb {
+			if x < 2 || x > 100 {
+				t.Fatalf("neighbor %v out of box", x)
+			}
+		}
+	}
+}
+
+func TestSearchIsDeterministicPerSeed(t *testing.T) {
+	inst := figure1Instance(t)
+	a, err := HillClimb(DPGap(inst, 50), 3, defaultOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HillClimb(DPGap(inst, 50), 3, defaultOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Gap != b.Gap || a.Evals != b.Evals {
+		t.Fatalf("same seed diverged: %v/%d vs %v/%d", a.Gap, a.Evals, b.Gap, b.Evals)
+	}
+}
+
+func TestConcurrentDPGapFunc(t *testing.T) {
+	inst := figure1Instance(t)
+	gap := ConcurrentDPGap(inst, 50)
+	// Figure-1 demands: OPT lambda 1, DP lambda 0.5 => gap 0.5.
+	g, err := gap([]float64{100, 100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-0.5) > 1e-5 {
+		t.Fatalf("gap=%v, want 0.5", g)
+	}
+	// Infeasible pinning maps to -Inf.
+	gap60 := ConcurrentDPGap(inst, 60)
+	g, err = gap60([]float64{60, 0, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(g, -1) {
+		t.Fatalf("gap=%v, want -Inf", g)
+	}
+	// And hill climbing composes with the concurrent oracle.
+	res, err := HillClimb(ConcurrentDPGap(inst, 50), 3, defaultOpts(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gap <= 0 {
+		t.Fatalf("no positive concurrent gap found: %v", res.Gap)
+	}
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kkt"
+	"repro/internal/lp"
+	"repro/internal/mcf"
+	"repro/internal/milp"
+	"repro/internal/sortnet"
+)
+
+// POPGapProblem searches for demands maximizing OPT - POP (Section 3.2,
+// "Supporting POP"). POP's value is a random variable over partitionings;
+// the search targets a deterministic descriptor of it: the empirical mean
+// over Instantiations fixed random assignments (expectation mode, the
+// paper's default resolution of Figure 5a), or a tail percentile computed
+// with a sorting network.
+type POPGapProblem struct {
+	Inst       *mcf.Instance
+	Partitions int
+	// Instantiations is the number of fixed random partitionings R averaged
+	// over (paper: 5 suffice; 1 reproduces the brittle single-sample mode of
+	// Figure 5a).
+	Instantiations int
+	// Rng draws the assignments when Assignments is nil.
+	Rng *rand.Rand
+	// Assignments, when non-nil, fixes the demand-to-partition assignment of
+	// each instantiation explicitly (len Instantiations x numDemands).
+	Assignments [][]int
+	// TailPercentile, when non-nil, switches from expectation to the sorted
+	// descriptor: 0 targets the worst instantiation, 0.5 the median, 1 the
+	// best.
+	TailPercentile *float64
+	Input          InputConstraints
+	// FullKKTOpt and BigMComplementarity are the same ablations as in
+	// DPGapProblem.
+	FullKKTOpt          bool
+	BigMComplementarity float64
+	// DisablePolish turns off the direct-solver primal heuristic.
+	DisablePolish bool
+}
+
+type popBuild struct {
+	model       *milp.Model
+	demands     []lp.VarID
+	optObj      lp.Expr
+	instObjs    []lp.Expr // heuristic total per instantiation
+	assignments [][]int
+	heurTerm    lp.Expr // the descriptor subtracted in the objective
+}
+
+func (pr *POPGapProblem) build() (*popBuild, error) {
+	n := pr.Inst.Demands.Len()
+	pr.Input.fillHosePairs(pr.Inst.Demands)
+	if err := pr.Input.validate(n); err != nil {
+		return nil, err
+	}
+	if pr.Partitions < 1 {
+		return nil, fmt.Errorf("core: POP needs >= 1 partition")
+	}
+	r := pr.Instantiations
+	if r < 1 {
+		r = 1
+	}
+	assignments := pr.Assignments
+	if assignments == nil {
+		if pr.Rng == nil {
+			return nil, fmt.Errorf("core: POP gap needs Rng or explicit Assignments")
+		}
+		assignments = make([][]int, r)
+		for i := range assignments {
+			assignments[i] = mcf.RandomAssignment(n, pr.Partitions, pr.Rng)
+		}
+	}
+	if len(assignments) != r {
+		return nil, fmt.Errorf("core: %d assignments for %d instantiations", len(assignments), r)
+	}
+	for _, a := range assignments {
+		if len(a) != n {
+			return nil, fmt.Errorf("core: assignment length %d, want %d", len(a), n)
+		}
+	}
+
+	p := lp.NewProblem("pop-gap", lp.Maximize)
+	m := milp.NewModel(p)
+	b := &popBuild{model: m, assignments: assignments}
+	b.demands = pr.Input.addDemandVars(m, n)
+
+	// OPT side.
+	optFlow := mcf.BuildInnerMaxFlow("opt", pr.Inst, func(k int) kkt.AffineRHS {
+		return kkt.Var(b.demands[k], 1, 0)
+	}, 1, nil, pr.Input.MaxDemand)
+	optRes, err := kkt.Emit(m, optFlow.LP, pr.FullKKTOpt)
+	if err != nil {
+		return nil, err
+	}
+	b.optObj = optRes.Obj
+
+	// Heuristic side: per instantiation, per partition, a certified inner
+	// max-flow over that partition's demands with capacities divided by the
+	// partition count — formulation (6).
+	capFrac := 1 / float64(pr.Partitions)
+	for ri, assign := range assignments {
+		var instObj lp.Expr
+		for c := 0; c < pr.Partitions; c++ {
+			cc := c
+			include := func(k int) bool { return assign[k] == cc }
+			any := false
+			for k := 0; k < n; k++ {
+				if include(k) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			fl := mcf.BuildInnerMaxFlow(fmt.Sprintf("pop%d.%d", ri, c), pr.Inst,
+				func(k int) kkt.AffineRHS { return kkt.Var(b.demands[k], 1, 0) },
+				capFrac, include, pr.Input.MaxDemand)
+			res, err := kkt.Emit(m, fl.LP, true)
+			if err != nil {
+				return nil, err
+			}
+			instObj = instObj.AddExpr(res.Obj, 1)
+		}
+		b.instObjs = append(b.instObjs, instObj)
+	}
+
+	// Descriptor: expectation or sorted percentile.
+	if pr.TailPercentile == nil {
+		inv := 1 / float64(r)
+		for _, io := range b.instObjs {
+			b.heurTerm = b.heurTerm.AddExpr(io, inv)
+		}
+	} else {
+		// Sorting network over the instantiation totals; every total lies in
+		// [0, n*MaxDemand].
+		bigM := float64(n) * pr.Input.MaxDemand
+		outs := sortnet.Emit(m, "tail", b.instObjs, bigM)
+		idx := sortnet.PercentileIndex(*pr.TailPercentile, len(outs))
+		b.heurTerm = lp.NewExpr().Add(outs[idx], 1)
+	}
+
+	for _, t := range b.optObj.Terms {
+		p.SetObj(t.Var, t.Coef)
+	}
+	for _, t := range b.heurTerm.Terms {
+		p.SetObj(t.Var, p.Obj(t.Var)-t.Coef)
+	}
+	if pr.BigMComplementarity > 0 {
+		m.ReplacePairsWithBigM(pr.BigMComplementarity)
+	}
+	return b, nil
+}
+
+// Stats builds the meta model and reports its size without solving.
+func (pr *POPGapProblem) Stats() (ModelStats, error) {
+	b, err := pr.build()
+	if err != nil {
+		return ModelStats{}, err
+	}
+	return statsOf(b.model), nil
+}
+
+// Solve runs the white-box search and verifies the result against direct
+// POP solves on the same fixed assignments.
+func (pr *POPGapProblem) Solve(opts milp.Options) (*Result, error) {
+	b, err := pr.build()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Polish == nil && !pr.DisablePolish {
+		polish := pr.polisher(b)
+		opts.Polish = polish
+		// Seed candidates, priced against the problem's own descriptor:
+		// the all-max input (POP's generic weakness, capacity
+		// fragmentation), and per-instantiation "concentrated" inputs that
+		// load a single partition's demands while the others idle — the
+		// structure behind the paper's observation that "unused capacity in
+		// a partition can be used to carry demands of another partition".
+		// Against one instantiation these overfit (Figure 5a); against the
+		// R-average only robustly bad ones survive the pricing.
+		nv := b.model.P.NumVars()
+		seed := func(d []float64) {
+			x := make([]float64, nv)
+			for k, dv := range b.demands {
+				x[dv] = d[k]
+			}
+			if obj, sol, ok := polish(x); ok {
+				opts.Seeds = append(opts.Seeds, milp.Seed{Objective: obj, X: sol})
+			}
+		}
+		seed(constantVector(len(b.demands), pr.Input.MaxDemand))
+		for _, assign := range b.assignments {
+			for c := 0; c < pr.Partitions; c++ {
+				d := make([]float64, len(b.demands))
+				for k, part := range assign {
+					if part == c {
+						d[k] = pr.Input.MaxDemand
+					}
+				}
+				seed(d)
+			}
+		}
+	}
+	res, err := milp.Solve(b.model, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Stats: statsOf(b.model), Solver: res}
+	if res.X == nil {
+		return out, nil
+	}
+	out.ModelGap = res.Objective
+	out.Demands = make([]float64, len(b.demands))
+	for k, dv := range b.demands {
+		d := res.X[dv]
+		if d < pr.Input.MinDemand {
+			d = pr.Input.MinDemand
+		}
+		if d > pr.Input.MaxDemand {
+			d = pr.Input.MaxDemand
+		}
+		out.Demands[k] = d
+	}
+	if err := pr.verify(out, b.assignments); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// polisher returns the primal heuristic for the POP gap search: price the
+// relaxation's (repaired) demand vector exactly with direct solves over the
+// same fixed assignments and descriptor.
+func (pr *POPGapProblem) polisher(b *popBuild) func(x []float64) (float64, []float64, bool) {
+	seen := newVecCache(512)
+	price := func(d []float64) (float64, bool) {
+		at := pr.Inst.WithVolumes(d)
+		opt, err := mcf.SolveMaxFlow(at)
+		if err != nil {
+			return 0, false
+		}
+		totals, err := EvaluatePOPOnAssignments(at, b.assignments, pr.Partitions)
+		if err != nil {
+			return 0, false
+		}
+		var heur float64
+		if pr.TailPercentile == nil {
+			for _, v := range totals {
+				heur += v
+			}
+			heur /= float64(len(totals))
+		} else {
+			sorted := sortnet.Sort(totals)
+			heur = sorted[sortnet.PercentileIndex(*pr.TailPercentile, len(sorted))]
+		}
+		return opt.Total - heur, true
+	}
+	return func(x []float64) (float64, []float64, bool) {
+		raw := make([]float64, len(b.demands))
+		maxed := make([]float64, len(b.demands))
+		for k, dv := range b.demands {
+			raw[k] = x[dv]
+			maxed[k] = pr.Input.MaxDemand
+		}
+		bestGap, ok := 0.0, false
+		var bestD []float64
+		// Price the relaxation's vector and the all-max rounding (POP's
+		// fragmentation hurts most when demands saturate the box).
+		for _, cand := range [][]float64{raw, maxed} {
+			d, valid := pr.Input.sanitize(cand)
+			if !valid || seen.contains(d) {
+				continue
+			}
+			seen.add(d)
+			if gap, priced := price(d); priced && (!ok || gap > bestGap) {
+				bestGap, bestD, ok = gap, d, true
+			}
+		}
+		if !ok {
+			return 0, nil, false
+		}
+		sol := append([]float64(nil), x...)
+		for k, dv := range b.demands {
+			sol[dv] = bestD[k]
+		}
+		return bestGap, sol, true
+	}
+}
+
+// verify recomputes OPT and the POP descriptor at the found demands.
+func (pr *POPGapProblem) verify(out *Result, assignments [][]int) error {
+	inst := pr.Inst.WithVolumes(out.Demands)
+	opt, err := mcf.SolveMaxFlow(inst)
+	if err != nil {
+		return fmt.Errorf("core: verifying OPT: %w", err)
+	}
+	totals, err := EvaluatePOPOnAssignments(inst, assignments, pr.Partitions)
+	if err != nil {
+		return err
+	}
+	var heur float64
+	if pr.TailPercentile == nil {
+		for _, v := range totals {
+			heur += v
+		}
+		heur /= float64(len(totals))
+	} else {
+		sorted := sortnet.Sort(totals)
+		heur = sorted[sortnet.PercentileIndex(*pr.TailPercentile, len(sorted))]
+	}
+	out.OptValue = opt.Total
+	out.HeurValue = heur
+	out.Gap = opt.Total - heur
+	out.NormalizedGap = out.Gap / pr.Inst.G.TotalCapacity()
+	return nil
+}
+
+// EvaluatePOPOnAssignments solves POP directly under each fixed assignment
+// and returns the total flow per assignment.
+func EvaluatePOPOnAssignments(inst *mcf.Instance, assignments [][]int, partitions int) ([]float64, error) {
+	n := inst.Demands.Len()
+	clients := make([]mcf.Client, n)
+	for k := 0; k < n; k++ {
+		clients[k] = mcf.Client{Demand: k, Volume: inst.Demands.Volume(k)}
+	}
+	totals := make([]float64, len(assignments))
+	for i, a := range assignments {
+		f, err := mcf.SolvePOPAssigned(inst, clients, a, partitions)
+		if err != nil {
+			return nil, fmt.Errorf("core: verifying POP instantiation %d: %w", i, err)
+		}
+		totals[i] = f.Total
+	}
+	return totals, nil
+}
+
+// POPTransferGap evaluates how an adversarial input generalizes: it draws
+// rounds fresh random partitionings and returns the average OPT - POP gap —
+// the test of Figure 5a ("tested on 10 other random partitions").
+func POPTransferGap(inst *mcf.Instance, demands []float64, partitions, rounds int, rng *rand.Rand) (float64, error) {
+	at := inst.WithVolumes(demands)
+	opt, err := mcf.SolveMaxFlow(at)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := 0; i < rounds; i++ {
+		f, err := mcf.SolvePOP(at, mcf.POPOptions{Partitions: partitions, Rng: rng})
+		if err != nil {
+			return 0, err
+		}
+		sum += opt.Total - f.Total
+	}
+	return sum / float64(rounds), nil
+}

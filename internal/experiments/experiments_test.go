@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// Tight budgets: these tests verify shapes and wiring, not headline
+// numbers; cmd/figures runs the same code with paper-scale budgets.
+func tinyCfg() Config {
+	return Config{Budget: 400 * time.Millisecond, Pairs: 6, Seed: 1}
+}
+
+func TestFigure1Numbers(t *testing.T) {
+	r, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Opt != 250 || r.DP != 150 || r.Gap != 100 {
+		t.Fatalf("got %+v, want OPT=250 DP=150 gap=100", r)
+	}
+}
+
+func TestFigure2LinearAnalog(t *testing.T) {
+	if err := Figure2LinearAnalog(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure3ProducesAllMethods(t *testing.T) {
+	for _, heur := range []string{"dp", "pop"} {
+		points, err := Figure3(heur, tinyCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", heur, err)
+		}
+		seen := map[string]bool{}
+		for _, p := range points {
+			seen[p.Method] = true
+			if p.NormGap < 0 {
+				t.Fatalf("%s: negative normalized gap %v", heur, p.NormGap)
+			}
+		}
+		for _, m := range []string{"whitebox", "hillclimb", "anneal"} {
+			if !seen[m] {
+				t.Fatalf("%s: no points for method %s (points %v)", heur, m, points)
+			}
+		}
+	}
+	if _, err := Figure3("nope", tinyCfg()); err == nil {
+		t.Fatal("expected error for unknown heuristic")
+	}
+}
+
+func TestFigure4aCoversTopologiesAndThresholds(t *testing.T) {
+	rows, err := Figure4a(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*5 {
+		t.Fatalf("got %d rows, want 15", len(rows))
+	}
+	topos := map[string]bool{}
+	for _, r := range rows {
+		topos[r.Topology] = true
+		if r.NormGap < 0 {
+			t.Fatalf("negative gap at %+v", r)
+		}
+	}
+	if len(topos) != 3 {
+		t.Fatalf("topologies covered: %v", topos)
+	}
+}
+
+func TestFigure4bPathLengthsIncrease(t *testing.T) {
+	rows, err := Figure4b(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgPathLen < rows[i-1].AvgPathLen {
+			t.Fatalf("shapes not ordered by avg path length: %+v", rows)
+		}
+	}
+}
+
+func TestFigure5aTransfers(t *testing.T) {
+	rows, err := Figure5a(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Instantiations != 1 || rows[1].Instantiations != 5 {
+		t.Fatalf("rows=%+v", rows)
+	}
+	// With this test's tiny support and the 40%-of-capacity demand bound a
+	// zero gap is legitimate; only negative values would indicate a bug.
+	for _, r := range rows {
+		if r.TrainGap < 0 || r.TransferGap < -1e-6 {
+			t.Fatalf("negative gap: %+v", r)
+		}
+	}
+}
+
+func TestFigure5bCoversSweeps(t *testing.T) {
+	rows, err := Figure5b(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3+4 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+}
+
+func TestFigure6SizesAndOrdering(t *testing.T) {
+	rows, err := Figure6(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	byName := map[string]Figure6Row{}
+	for _, r := range rows {
+		byName[r.Problem] = r
+	}
+	// The meta problems must dwarf the inner problems in size, and only
+	// they carry SOS pairs — the core observation of Figure 6.
+	for _, meta := range []string{"DP+OPT meta", "POP+OPT meta"} {
+		m, ok := byName[meta]
+		if !ok {
+			t.Fatalf("missing row %q", meta)
+		}
+		if m.SOS == 0 {
+			t.Fatalf("%s has no SOS pairs", meta)
+		}
+		if m.Vars <= byName["OPT"].Vars {
+			t.Fatalf("%s vars %d not larger than OPT's %d", meta, m.Vars, byName["OPT"].Vars)
+		}
+		if m.Latency <= byName["OPT"].Latency {
+			t.Fatalf("%s latency %v not larger than OPT's %v", meta, m.Latency, byName["OPT"].Latency)
+		}
+	}
+	for _, inner := range []string{"OPT", "DP", "POP"} {
+		if byName[inner].SOS != 0 {
+			t.Fatalf("inner problem %s reports SOS pairs", inner)
+		}
+	}
+}

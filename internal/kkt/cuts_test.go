@@ -1,0 +1,173 @@
+package kkt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+	"repro/internal/milp"
+)
+
+// buildBoundedInner creates a random max-flow-shaped inner LP (unit
+// objective, 0/1 rows) with DualUB/SlackUB/VarUB set, mimicking what
+// mcf.BuildInnerMaxFlow emits for the meta optimization.
+func buildBoundedInner(rng *rand.Rand, nVars, nRows int) *InnerLP {
+	in := &InnerLP{Name: "bounded", NumVars: nVars}
+	in.Obj = make([]float64, nVars)
+	in.VarUB = make([]float64, nVars)
+	for j := 0; j < nVars; j++ {
+		in.Obj[j] = 1
+		in.VarUB[j] = 10
+	}
+	covered := make([]bool, nVars)
+	for i := 0; i < nRows; i++ {
+		r := Row{Name: "r", Rel: lp.LE, RHS: Constant(2 + rng.Float64()*8),
+			DualUB: 1, SlackUB: 10}
+		for j := 0; j < nVars; j++ {
+			if rng.Float64() < 0.6 {
+				r.Terms = append(r.Terms, InnerTerm{j, 1})
+				covered[j] = true
+			}
+		}
+		in.AddRow(r)
+	}
+	for j, c := range covered {
+		if !c {
+			in.AddRow(Row{Name: "cover", Rel: lp.LE, DualUB: 1, SlackUB: 10,
+				Terms: []InnerTerm{{j, 1}}, RHS: Constant(2 + rng.Float64()*8)})
+		}
+	}
+	return in
+}
+
+// TestQuickBoundsPreserveCertifiedOptimum is the soundness property of the
+// tighteners: adding dual bounds and McCormick cuts must not change the
+// certified inner optimum (they only cut relaxation space, never the
+// optimal KKT points of unit-objective 0/1 max-flow LPs).
+func TestQuickBoundsPreserveCertifiedOptimum(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(5)
+		nRows := 1 + rng.Intn(4)
+		in := buildBoundedInner(rng, nVars, nRows)
+
+		// Direct solve for the truth.
+		direct := lp.NewProblem("direct", lp.Maximize)
+		dx := make([]lp.VarID, nVars)
+		for j := range dx {
+			dx[j] = direct.AddVar("x", 0, lp.Inf)
+			direct.SetObj(dx[j], 1)
+		}
+		for _, r := range in.Rows {
+			e := lp.NewExpr()
+			for _, tm := range r.Terms {
+				e = e.Add(dx[tm.Var], tm.Coef)
+			}
+			direct.AddConstraint(r.Name, e, r.Rel, r.RHS.Const)
+		}
+		dsol, err := direct.Solve()
+		if err != nil || dsol.Status != lp.StatusOptimal {
+			return false
+		}
+
+		// Certified system under an adversarial minimizer, with bounds+cuts.
+		p := lp.NewProblem("meta", lp.Minimize)
+		m := milp.NewModel(p)
+		res, err := Emit(m, in, true)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < nVars; j++ {
+			p.SetObj(res.X[j], 1)
+		}
+		msol, err := milp.Solve(m, milp.Options{MaxNodes: 20000})
+		if err != nil || msol.Status != milp.StatusOptimal {
+			t.Logf("seed %d: err=%v status=%v", seed, err, msol.Status)
+			return false
+		}
+		got := res.Obj.Eval(msol.X)
+		if got < dsol.Objective-1e-5 || got > dsol.Objective+1e-5 {
+			t.Logf("seed %d: certified %v != direct %v (with bounds+cuts)", seed, got, dsol.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCutsTightenRelaxation verifies the point of the McCormick cuts: the
+// LP relaxation (complementarity dropped) of a bounded certified system
+// admits a smaller "fake" inner objective without cuts than with them.
+func TestCutsTightenRelaxation(t *testing.T) {
+	build := func(withBounds bool) float64 {
+		in := &InnerLP{Name: "tight", NumVars: 2, Obj: []float64{1, 1}}
+		row := Row{Name: "cap", Rel: lp.LE, RHS: Constant(10),
+			Terms: []InnerTerm{{0, 1}, {1, 1}}}
+		rows := []Row{row,
+			{Name: "d0", Rel: lp.LE, RHS: Constant(8), Terms: []InnerTerm{{0, 1}}},
+			{Name: "d1", Rel: lp.LE, RHS: Constant(8), Terms: []InnerTerm{{1, 1}}},
+		}
+		if withBounds {
+			for i := range rows {
+				rows[i].DualUB = 1
+				rows[i].SlackUB = 10
+			}
+			in.VarUB = []float64{8, 8}
+		}
+		in.Rows = rows
+		p := lp.NewProblem("meta", lp.Minimize)
+		m := milp.NewModel(p)
+		res, err := Emit(m, in, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetObj(res.X[0], 1)
+		p.SetObj(res.X[1], 1)
+		// LP relaxation only: solve the bare LP, ignoring complementarity.
+		sol, err := p.Solve()
+		if err != nil || sol.Status != lp.StatusOptimal {
+			t.Fatalf("relaxation: %v %v", err, sol.Status)
+		}
+		return sol.Objective
+	}
+	loose := build(false)
+	tight := build(true)
+	// True inner optimum is 10; the unbounded relaxation lets the adversary
+	// push the inner objective to 0, the cuts must force it up.
+	if loose > 1e-6 {
+		t.Fatalf("unbounded relaxation unexpectedly tight: %v", loose)
+	}
+	if tight < 5 {
+		t.Fatalf("cuts did not tighten the relaxation: %v (want >= 5, true optimum 10)", tight)
+	}
+}
+
+// TestReducedCostHardBound: when every row touching a variable has a dual
+// bound, the emitted reduced-cost variable gets a finite upper bound.
+func TestReducedCostHardBound(t *testing.T) {
+	in := &InnerLP{Name: "rc", NumVars: 1, Obj: []float64{1}, VarUB: []float64{5}}
+	in.AddRow(Row{Name: "cap", Rel: lp.LE, RHS: Constant(5), DualUB: 1, SlackUB: 5,
+		Terms: []InnerTerm{{0, 1}}})
+	p := lp.NewProblem("meta", lp.Maximize)
+	m := milp.NewModel(p)
+	res, err := Emit(m, in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi := p.Bounds(res.ReducedCosts[0])
+	// rc = dual - 1 <= 1*1 - 1 = 0: the bound should pin rc to zero.
+	if hi != 0 {
+		t.Fatalf("rc upper bound %v, want 0", hi)
+	}
+	// And the system still certifies: dual must equal exactly 1, x = 5.
+	sol, err := milp.Solve(m, milp.Options{})
+	if err != nil || sol.Status != milp.StatusOptimal {
+		t.Fatalf("err=%v status=%v", err, sol.Status)
+	}
+	if x := sol.X[res.X[0]]; x < 5-1e-6 {
+		t.Fatalf("x=%v, want 5", x)
+	}
+}

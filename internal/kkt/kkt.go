@@ -1,0 +1,283 @@
+// Package kkt rewrites inner linear programs into KKT feasibility systems,
+// the transformation at the core of the paper's Section 3.1: a two-stage
+// Stackelberg problem "outer picks input I, inner solves a convex program"
+// becomes a single-shot problem by replacing the inner argmax with its
+// KKT conditions — primal feasibility, dual feasibility, stationarity, and
+// complementary slackness. The complementary-slackness products are exactly
+// the multiplicative ("SOS") constraints the paper attributes the solver
+// latency to; here they become milp.Model complementarity pairs.
+//
+// An InnerLP is a data-level description: maximize c'x subject to rows
+// A x (<=|=) b, x >= 0, where each right-hand side is affine in the *outer*
+// problem's variables. Emit instantiates the system inside a milp.Model.
+package kkt
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/milp"
+)
+
+// AffineRHS is an affine function of outer (meta) variables: Const + sum of
+// Terms over variables that already exist in the meta model.
+type AffineRHS struct {
+	Const float64
+	Terms []lp.Term
+}
+
+// Constant returns an AffineRHS with no outer terms.
+func Constant(c float64) AffineRHS { return AffineRHS{Const: c} }
+
+// Var returns an AffineRHS equal to coef*v plus c.
+func Var(v lp.VarID, coef, c float64) AffineRHS {
+	return AffineRHS{Const: c, Terms: []lp.Term{{Var: v, Coef: coef}}}
+}
+
+// InnerTerm is a coefficient on an inner variable (indices local to the
+// InnerLP, 0..NumVars-1).
+type InnerTerm struct {
+	Var  int
+	Coef float64
+}
+
+// Row is one inner constraint. Rel may be LE, GE or EQ; GE rows are
+// canonicalized to LE during Emit.
+//
+// DualUB and SlackUB, when positive, are *proved* upper bounds on an
+// optimal dual multiplier and on the row's slack, and unlock two relaxation
+// tighteners during a certified Emit: hard bounds on the dual/slack
+// variables and a McCormick cut dual/DualUB + slack/SlackUB <= 1 for the
+// complementarity pair (valid because at least one factor of u*v = 0 is
+// zero). For unit-objective max-flow LPs with 0/1 constraint matrices —
+// every inner problem in this repository — an optimal dual capped at 1
+// remains optimal and satisfies the same complementary slackness, so
+// DualUB = 1 is always sound there.
+type Row struct {
+	Name    string
+	Terms   []InnerTerm
+	Rel     lp.Rel
+	RHS     AffineRHS
+	DualUB  float64
+	SlackUB float64
+}
+
+// InnerLP describes "maximize Obj'x subject to Rows, x >= 0" with
+// NumVars inner variables. Variable upper bounds, if any, must be expressed
+// as rows (the TE formulations only need f >= 0 plus rows); VarUB, when
+// non-nil, additionally records proved bounds used for McCormick cuts on
+// the (reduced cost, variable) pairs.
+type InnerLP struct {
+	Name    string
+	NumVars int
+	Obj     []float64
+	Rows    []Row
+	VarUB   []float64
+}
+
+// AddRow appends a row and returns its index.
+func (in *InnerLP) AddRow(r Row) int {
+	in.Rows = append(in.Rows, r)
+	return len(in.Rows) - 1
+}
+
+// Result maps the emitted system back to meta-model variables.
+type Result struct {
+	// X are the inner primal variables, one per InnerLP variable.
+	X []lp.VarID
+	// Obj is the inner objective c'x as an expression over X.
+	Obj lp.Expr
+	// Slacks holds the slack variable of each LE row (-1 for EQ rows).
+	Slacks []lp.VarID
+	// Duals holds the dual variable of each row (>=0 for LE, free for EQ).
+	// Empty when Emit ran with certify=false.
+	Duals []lp.VarID
+	// ReducedCosts holds the nonnegativity multiplier of each inner
+	// variable. Empty when certify=false.
+	ReducedCosts []lp.VarID
+	// Pairs is the number of complementarity pairs added (the paper's
+	// "SOS constraints" count for this inner problem).
+	Pairs int
+}
+
+// Emit instantiates the inner LP inside the meta model.
+//
+// With certify=false only primal feasibility is emitted: any assignment
+// satisfying the meta model gives a *feasible* inner point. This suffices
+// when the inner objective appears with a positive sign in an outer max —
+// the outer optimizer itself drives c'x to the inner optimum (used for the
+// OPT side of the gap problem).
+//
+// With certify=true the full KKT system is emitted: duals, stationarity,
+// and complementary slackness. Any satisfying assignment is then an inner
+// *optimal* point, which is required when the inner value appears with a
+// negative sign (the Heuristic side), where the outer optimizer would
+// otherwise understate it.
+func Emit(m *milp.Model, in *InnerLP, certify bool) (*Result, error) {
+	if len(in.Obj) != in.NumVars {
+		return nil, fmt.Errorf("kkt: %s: %d objective coefficients for %d vars",
+			in.Name, len(in.Obj), in.NumVars)
+	}
+	p := m.P
+	res := &Result{}
+
+	// Inner primal variables, x >= 0.
+	res.X = make([]lp.VarID, in.NumVars)
+	for j := 0; j < in.NumVars; j++ {
+		res.X[j] = p.AddVar(fmt.Sprintf("%s.x%d", in.Name, j), 0, lp.Inf)
+	}
+	for j, c := range in.Obj {
+		if c != 0 {
+			res.Obj = res.Obj.Add(res.X[j], c)
+		}
+	}
+
+	// Canonicalize rows: GE becomes LE with negated terms and RHS. The
+	// caller's DualUB/SlackUB refer to the canonical LE form and carry over.
+	rows := make([]Row, len(in.Rows))
+	for i, r := range in.Rows {
+		if r.Rel == lp.GE {
+			nr := Row{Name: r.Name, Rel: lp.LE, DualUB: r.DualUB, SlackUB: r.SlackUB}
+			nr.RHS.Const = -r.RHS.Const
+			for _, t := range r.RHS.Terms {
+				nr.RHS.Terms = append(nr.RHS.Terms, lp.Term{Var: t.Var, Coef: -t.Coef})
+			}
+			for _, t := range r.Terms {
+				nr.Terms = append(nr.Terms, InnerTerm{Var: t.Var, Coef: -t.Coef})
+			}
+			rows[i] = nr
+			continue
+		}
+		rows[i] = r
+	}
+
+	// Primal feasibility. LE rows get explicit slacks so complementary
+	// slackness can pair (dual, slack) as two nonnegative variables.
+	res.Slacks = make([]lp.VarID, len(rows))
+	for i, r := range rows {
+		for _, t := range r.Terms {
+			if t.Var < 0 || t.Var >= in.NumVars {
+				return nil, fmt.Errorf("kkt: %s: row %q references var %d of %d",
+					in.Name, r.Name, t.Var, in.NumVars)
+			}
+		}
+		e := lp.NewExpr()
+		for _, t := range r.Terms {
+			e = e.Add(res.X[t.Var], t.Coef)
+		}
+		// Move outer RHS terms to the left: a'x (+ s) - rhsTerms = rhsConst.
+		for _, t := range r.RHS.Terms {
+			e = e.Add(t.Var, -t.Coef)
+		}
+		name := fmt.Sprintf("%s.row.%s", in.Name, r.Name)
+		if r.Rel == lp.EQ {
+			res.Slacks[i] = -1
+			p.AddConstraint(name, e, lp.EQ, r.RHS.Const)
+			continue
+		}
+		shi := lp.Inf
+		if r.SlackUB > 0 {
+			shi = r.SlackUB
+		}
+		s := p.AddVar(fmt.Sprintf("%s.s%d", in.Name, i), 0, shi)
+		res.Slacks[i] = s
+		e = e.Add(s, 1)
+		p.AddConstraint(name, e, lp.EQ, r.RHS.Const)
+	}
+
+	if !certify {
+		return res, nil
+	}
+
+	// Dual variables: lambda_i >= 0 for LE rows, nu_i free for EQ rows.
+	res.Duals = make([]lp.VarID, len(rows))
+	for i, r := range rows {
+		lo, hi := 0.0, lp.Inf
+		if r.Rel == lp.EQ {
+			lo = -lp.Inf
+		} else if r.DualUB > 0 {
+			hi = r.DualUB
+		}
+		res.Duals[i] = p.AddVar(fmt.Sprintf("%s.dual%d", in.Name, i), lo, hi)
+	}
+
+	// Stationarity: for maximize c'x with A x <= b, x >= 0 the Lagrangian
+	// gradient gives mu_j = (A' lambda)_j - c_j >= 0 per variable, where
+	// mu_j is the multiplier of x_j >= 0 (its "reduced cost").
+	colTerms := make([][]lp.Term, in.NumVars) // per inner var: duals touching it
+	for i, r := range rows {
+		for _, t := range r.Terms {
+			colTerms[t.Var] = append(colTerms[t.Var], lp.Term{Var: res.Duals[i], Coef: t.Coef})
+		}
+	}
+	res.ReducedCosts = make([]lp.VarID, in.NumVars)
+	for j := 0; j < in.NumVars; j++ {
+		rc := p.AddVar(fmt.Sprintf("%s.rc%d", in.Name, j), 0, lp.Inf)
+		res.ReducedCosts[j] = rc
+		e := lp.NewExpr(colTerms[j]...).Add(rc, -1)
+		p.AddConstraint(fmt.Sprintf("%s.stat%d", in.Name, j), e, lp.EQ, in.Obj[j])
+	}
+
+	// Complementary slackness: lambda_i * s_i = 0 and mu_j * x_j = 0.
+	// Wherever both factors have proved bounds, also add the McCormick cut
+	// u/U + v/V <= 1 — valid for any product that vanishes, and the lever
+	// that makes the relaxation's heuristic value track the true optimum
+	// instead of collapsing to the forced flows.
+	for i, r := range rows {
+		if r.Rel == lp.EQ {
+			continue
+		}
+		m.AddComplementarity(res.Duals[i], res.Slacks[i],
+			fmt.Sprintf("%s.cs-row%d", in.Name, i))
+		res.Pairs++
+		if r.DualUB > 0 && r.SlackUB > 0 {
+			cut := lp.NewExpr().Add(res.Duals[i], 1/r.DualUB).Add(res.Slacks[i], 1/r.SlackUB)
+			p.AddConstraint(fmt.Sprintf("%s.mc-row%d", in.Name, i), cut, lp.LE, 1)
+		}
+	}
+	for j := 0; j < in.NumVars; j++ {
+		m.AddComplementarity(res.ReducedCosts[j], res.X[j],
+			fmt.Sprintf("%s.cs-var%d", in.Name, j))
+		res.Pairs++
+	}
+	// Reduced-cost bounds: rc_j = sum_i a_ij*dual_i - c_j. When every row
+	// with a positive coefficient on j has a proved dual bound (and j is in
+	// no equality row), rc_j is bounded above, enabling both a hard bound
+	// and, with VarUB, a McCormick cut on the (rc, x) pair.
+	for j := 0; j < in.NumVars; j++ {
+		rcMax, bounded := -in.Obj[j], true
+		for i, r := range rows {
+			for _, t := range r.Terms {
+				if t.Var != j {
+					continue
+				}
+				switch {
+				case r.Rel == lp.EQ && t.Coef != 0:
+					bounded = false
+				case t.Coef > 0:
+					if r.DualUB > 0 {
+						rcMax += t.Coef * r.DualUB
+					} else {
+						bounded = false
+					}
+				}
+			}
+			if !bounded {
+				break
+			}
+			_ = i
+		}
+		if !bounded {
+			continue
+		}
+		if rcMax < 1e-9 {
+			rcMax = 0
+		}
+		p.SetBounds(res.ReducedCosts[j], 0, rcMax)
+		if rcMax > 0 && in.VarUB != nil && in.VarUB[j] > 0 {
+			cut := lp.NewExpr().Add(res.ReducedCosts[j], 1/rcMax).Add(res.X[j], 1/in.VarUB[j])
+			p.AddConstraint(fmt.Sprintf("%s.mc-var%d", in.Name, j), cut, lp.LE, 1)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,308 @@
+package kkt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+	"repro/internal/milp"
+)
+
+const eps = 1e-5
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b)) }
+
+// TestCertifyForcesInnerOptimum is the crux of the rewrite: even when the
+// meta objective *minimizes* the inner objective, a certified system only
+// admits inner-optimal points. Inner: max x s.t. x <= 5. Meta: min x.
+// Without certification min x = 0; with KKT the only feasible x is 5.
+func TestCertifyForcesInnerOptimum(t *testing.T) {
+	build := func(certify bool) float64 {
+		p := lp.NewProblem("meta", lp.Minimize)
+		m := milp.NewModel(p)
+		in := &InnerLP{Name: "inner", NumVars: 1, Obj: []float64{1}}
+		in.AddRow(Row{Name: "cap", Terms: []InnerTerm{{0, 1}}, Rel: lp.LE, RHS: Constant(5)})
+		res, err := Emit(m, in, certify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetObj(res.X[0], 1) // minimize the inner variable
+		sol, err := milp.Solve(m, milp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != milp.StatusOptimal {
+			t.Fatalf("certify=%v: status %v", certify, sol.Status)
+		}
+		return sol.X[res.X[0]]
+	}
+	if x := build(false); !almost(x, 0) {
+		t.Fatalf("uncertified min x = %v, want 0", x)
+	}
+	if x := build(true); !almost(x, 5) {
+		t.Fatalf("certified min x = %v, want 5 (inner optimum)", x)
+	}
+}
+
+// TestFigure2Rectangle checks the paper's Figure 2 analytically: for the
+// quadratic problem min w^2 + l^2 s.t. 2(w+l) >= P, the KKT system
+// 2w = 2lambda, 2l = 2lambda, lambda*(w + l - P/2) = 0, lambda >= 0 has the
+// unique solution w = l = lambda = P/4.
+func TestFigure2Rectangle(t *testing.T) {
+	for _, P := range []float64{1, 4, 10, 36.5} {
+		w, l, lam := P/4, P/4, P/4
+		// Stationarity.
+		if !almost(2*w, 2*lam) || !almost(2*l, 2*lam) {
+			t.Fatalf("P=%v: stationarity fails", P)
+		}
+		// Primal feasibility.
+		if 2*(w+l) < P-eps {
+			t.Fatalf("P=%v: primal infeasible", P)
+		}
+		// Complementary slackness.
+		if !almost(lam*(w+l-P/2), 0) {
+			t.Fatalf("P=%v: complementary slackness fails", P)
+		}
+		// And the point is the true minimizer: any feasible (w',l') has
+		// w'^2 + l'^2 >= P^2/8 by Cauchy-Schwarz; check a few.
+		best := w*w + l*l
+		for _, d := range []float64{0.1, 0.5, 1} {
+			alt := (w+d)*(w+d) + (l-d)*(l-d) // still feasible (same perimeter)
+			if alt < best-eps {
+				t.Fatalf("P=%v: found better feasible point", P)
+			}
+		}
+	}
+}
+
+// TestFigure2LinearAnalog runs the machinery on the LP analog of Figure 2:
+// inner problem min w + l s.t. 2(w+l) >= P with P an outer variable.
+// As a max problem: max -(w+l). KKT forces w + l = P/2 exactly, even though
+// the meta objective pushes w + l up.
+func TestFigure2LinearAnalog(t *testing.T) {
+	p := lp.NewProblem("meta", lp.Maximize)
+	m := milp.NewModel(p)
+	P := p.AddVar("P", 3, 3) // fixed perimeter parameter
+	in := &InnerLP{Name: "rect", NumVars: 2, Obj: []float64{-1, -1}}
+	in.AddRow(Row{
+		Name:  "perimeter",
+		Terms: []InnerTerm{{0, 2}, {1, 2}},
+		Rel:   lp.GE,
+		RHS:   Var(P, 1, 0),
+	})
+	res, err := Emit(m, in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Meta tries to maximize w + l; certification must hold it at P/2.
+	p.SetObj(res.X[0], 1)
+	p.SetObj(res.X[1], 1)
+	sol, err := milp.Solve(m, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if got := sol.X[res.X[0]] + sol.X[res.X[1]]; !almost(got, 1.5) {
+		t.Fatalf("w+l = %v, want P/2 = 1.5", got)
+	}
+}
+
+// TestOuterVariableRHS exercises an outer variable on the inner RHS with an
+// outer objective that trades off against the inner optimum:
+// inner(b): max x s.t. x <= b; meta: choose b in [0,10] minimizing
+// 3b - inner(b) = 3b - b = 2b => b = 0.
+func TestOuterVariableRHS(t *testing.T) {
+	p := lp.NewProblem("meta", lp.Minimize)
+	m := milp.NewModel(p)
+	b := p.AddVar("b", 0, 10)
+	in := &InnerLP{Name: "inner", NumVars: 1, Obj: []float64{1}}
+	in.AddRow(Row{Name: "cap", Terms: []InnerTerm{{0, 1}}, Rel: lp.LE, RHS: Var(b, 1, 0)})
+	res, err := Emit(m, in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetObj(b, 3)
+	p.SetObj(res.X[0], -1)
+	sol, err := milp.Solve(m, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.StatusOptimal || !almost(sol.Objective, 0) {
+		t.Fatalf("status=%v obj=%v, want optimal/0", sol.Status, sol.Objective)
+	}
+	// And flipping the trade-off: minimize 0.5b - inner(b) = -0.5b => b = 10,
+	// and the certified inner value must track b.
+	p.SetObj(b, 0.5)
+	sol, err = milp.Solve(m, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.X[b], 10) || !almost(sol.X[res.X[0]], 10) {
+		t.Fatalf("b=%v inner=%v, want both 10", sol.X[b], sol.X[res.X[0]])
+	}
+}
+
+// TestEqualityRowsGetFreeDuals uses an inner problem with an equality row:
+// max x1 s.t. x1 + x2 = 4 (x >= 0). Optimum x1 = 4. A meta-minimizer over
+// x1 must still land on 4.
+func TestEqualityRowsGetFreeDuals(t *testing.T) {
+	p := lp.NewProblem("meta", lp.Minimize)
+	m := milp.NewModel(p)
+	in := &InnerLP{Name: "eq", NumVars: 2, Obj: []float64{1, 0}}
+	in.AddRow(Row{Name: "sum", Terms: []InnerTerm{{0, 1}, {1, 1}}, Rel: lp.EQ, RHS: Constant(4)})
+	res, err := Emit(m, in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetObj(res.X[0], 1)
+	sol, err := milp.Solve(m, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.StatusOptimal || !almost(sol.X[res.X[0]], 4) {
+		t.Fatalf("status=%v x1=%v, want optimal/4", sol.Status, sol.X[res.X[0]])
+	}
+	if res.Slacks[0] != -1 {
+		t.Fatalf("equality row should have no slack")
+	}
+}
+
+// TestGERowCanonicalization: inner max -x s.t. x >= 2 has optimum x = 2.
+func TestGERowCanonicalization(t *testing.T) {
+	p := lp.NewProblem("meta", lp.Maximize)
+	m := milp.NewModel(p)
+	in := &InnerLP{Name: "ge", NumVars: 1, Obj: []float64{-1}}
+	in.AddRow(Row{Name: "floor", Terms: []InnerTerm{{0, 1}}, Rel: lp.GE, RHS: Constant(2)})
+	res, err := Emit(m, in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetObj(res.X[0], 1) // meta pushes x up; KKT must pin it at 2
+	sol, err := milp.Solve(m, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.X[res.X[0]], 2) {
+		t.Fatalf("x=%v, want 2", sol.X[res.X[0]])
+	}
+}
+
+func TestEmitValidation(t *testing.T) {
+	p := lp.NewProblem("meta", lp.Maximize)
+	m := milp.NewModel(p)
+	in := &InnerLP{Name: "bad", NumVars: 2, Obj: []float64{1}}
+	if _, err := Emit(m, in, true); err == nil {
+		t.Fatal("expected error for mismatched objective length")
+	}
+	in2 := &InnerLP{Name: "bad2", NumVars: 1, Obj: []float64{1}}
+	in2.AddRow(Row{Name: "oops", Terms: []InnerTerm{{5, 1}}, Rel: lp.LE, RHS: Constant(1)})
+	if _, err := Emit(m, in2, true); err == nil {
+		t.Fatal("expected error for out-of-range var")
+	}
+}
+
+func TestPairCountMatchesFigure6Accounting(t *testing.T) {
+	// Pairs = #LE rows + #vars (EQ rows contribute none).
+	p := lp.NewProblem("meta", lp.Maximize)
+	m := milp.NewModel(p)
+	in := &InnerLP{Name: "count", NumVars: 3, Obj: []float64{1, 1, 1}}
+	in.AddRow(Row{Name: "a", Terms: []InnerTerm{{0, 1}}, Rel: lp.LE, RHS: Constant(1)})
+	in.AddRow(Row{Name: "b", Terms: []InnerTerm{{1, 1}}, Rel: lp.GE, RHS: Constant(0)})
+	in.AddRow(Row{Name: "c", Terms: []InnerTerm{{2, 1}}, Rel: lp.EQ, RHS: Constant(1)})
+	res, err := Emit(m, in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 2+3 {
+		t.Fatalf("pairs=%d, want 5", res.Pairs)
+	}
+	if m.NumComplementarities() != res.Pairs {
+		t.Fatalf("model pairs=%d, result pairs=%d", m.NumComplementarities(), res.Pairs)
+	}
+}
+
+// TestQuickCertifiedEqualsDirect is the property at the heart of the
+// framework: for random inner LPs with a random fixed RHS, minimizing or
+// maximizing any linear meta objective over the certified KKT system must
+// yield an inner objective value equal to the directly solved optimum.
+func TestQuickCertifiedEqualsDirect(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(4)
+		nRows := 1 + rng.Intn(4)
+
+		in := &InnerLP{Name: "rand", NumVars: nVars}
+		for j := 0; j < nVars; j++ {
+			in.Obj = append(in.Obj, rng.Float64()*3)
+		}
+		// Random LE rows with nonnegative coefficients and positive RHS keep
+		// the inner problem feasible (x=0) and bounded whenever every
+		// variable with positive objective appears in some row; force that.
+		covered := make([]bool, nVars)
+		for i := 0; i < nRows; i++ {
+			r := Row{Name: "r", Rel: lp.LE, RHS: Constant(1 + rng.Float64()*9)}
+			for j := 0; j < nVars; j++ {
+				if rng.Float64() < 0.6 {
+					r.Terms = append(r.Terms, InnerTerm{j, 0.3 + rng.Float64()})
+					covered[j] = true
+				}
+			}
+			in.AddRow(r)
+		}
+		for j, c := range covered {
+			if !c {
+				in.AddRow(Row{Name: "cover", Rel: lp.LE,
+					Terms: []InnerTerm{{j, 1}}, RHS: Constant(1 + rng.Float64()*9)})
+			}
+		}
+
+		// Direct solve.
+		direct := lp.NewProblem("direct", lp.Maximize)
+		dx := make([]lp.VarID, nVars)
+		for j := range dx {
+			dx[j] = direct.AddVar("x", 0, lp.Inf)
+			direct.SetObj(dx[j], in.Obj[j])
+		}
+		for _, r := range in.Rows {
+			e := lp.NewExpr()
+			for _, tm := range r.Terms {
+				e = e.Add(dx[tm.Var], tm.Coef)
+			}
+			direct.AddConstraint(r.Name, e, r.Rel, r.RHS.Const)
+		}
+		dsol, err := direct.Solve()
+		if err != nil || dsol.Status != lp.StatusOptimal {
+			t.Logf("seed %d: direct err=%v status=%v", seed, err, dsol.Status)
+			return false
+		}
+
+		// Certified system with an adversarial (minimizing) meta objective.
+		p := lp.NewProblem("meta", lp.Minimize)
+		m := milp.NewModel(p)
+		res, err := Emit(m, in, true)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < nVars; j++ {
+			p.SetObj(res.X[j], in.Obj[j]) // meta minimizes the inner objective
+		}
+		msol, err := milp.Solve(m, milp.Options{MaxNodes: 20000})
+		if err != nil || msol.Status != milp.StatusOptimal {
+			t.Logf("seed %d: meta err=%v status=%v", seed, err, msol.Status)
+			return false
+		}
+		innerVal := res.Obj.Eval(msol.X)
+		if !almost(innerVal, dsol.Objective) {
+			t.Logf("seed %d: certified inner %v != direct %v", seed, innerVal, dsol.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

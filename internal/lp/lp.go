@@ -1,0 +1,270 @@
+// Package lp provides a linear-programming model and a dense two-phase
+// primal simplex solver built entirely on the standard library.
+//
+// The package plays the role Gurobi's LP core plays in the paper: every
+// inner problem (OptMaxFlow, DemandPinning, POP partitions) and every
+// branch-and-bound node of the meta optimization is solved through it.
+//
+// A Problem is built incrementally from variables (with lower/upper bounds,
+// possibly infinite) and linear constraints (<=, >=, ==). Solve converts the
+// problem to standard computational form (minimize c'x, Ax = b, x >= 0),
+// runs phase-1/phase-2 simplex, and maps the result back, including dual
+// values for every user constraint.
+package lp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Sense is the optimization direction of a Problem.
+type Sense int
+
+const (
+	// Minimize asks for the smallest objective value.
+	Minimize Sense = iota
+	// Maximize asks for the largest objective value.
+	Maximize
+)
+
+func (s Sense) String() string {
+	if s == Maximize {
+		return "maximize"
+	}
+	return "minimize"
+}
+
+// Rel is the relation of a linear constraint.
+type Rel int
+
+const (
+	// LE is "less than or equal".
+	LE Rel = iota
+	// GE is "greater than or equal".
+	GE
+	// EQ is "equal".
+	EQ
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "=="
+	}
+}
+
+// Inf is positive infinity, usable as a variable bound.
+var Inf = math.Inf(1)
+
+// VarID identifies a variable within a Problem.
+type VarID int
+
+// ConID identifies a constraint within a Problem.
+type ConID int
+
+// Term is one coefficient*variable entry of a linear expression.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+// Expr is a linear expression: a sum of terms. The zero value is the empty
+// expression. Expressions are value types; Add returns the receiver to allow
+// chaining but mutates in place for efficiency.
+type Expr struct {
+	Terms []Term
+}
+
+// NewExpr returns an expression holding the given terms.
+func NewExpr(terms ...Term) Expr { return Expr{Terms: terms} }
+
+// Add appends coef*v to the expression and returns it.
+func (e Expr) Add(v VarID, coef float64) Expr {
+	e.Terms = append(e.Terms, Term{Var: v, Coef: coef})
+	return e
+}
+
+// AddExpr appends all terms of o (scaled by scale) and returns the result.
+func (e Expr) AddExpr(o Expr, scale float64) Expr {
+	for _, t := range o.Terms {
+		e.Terms = append(e.Terms, Term{Var: t.Var, Coef: t.Coef * scale})
+	}
+	return e
+}
+
+// Eval computes the value of the expression under assignment x.
+func (e Expr) Eval(x []float64) float64 {
+	s := 0.0
+	for _, t := range e.Terms {
+		s += t.Coef * x[t.Var]
+	}
+	return s
+}
+
+type varInfo struct {
+	name string
+	lo   float64
+	hi   float64
+	obj  float64
+}
+
+type conInfo struct {
+	name string
+	expr Expr
+	rel  Rel
+	rhs  float64
+}
+
+// Problem is a linear program under construction. Not safe for concurrent
+// mutation; Solve does not mutate the problem and may be called from multiple
+// goroutines on the same Problem.
+type Problem struct {
+	Name  string
+	sense Sense
+	vars  []varInfo
+	cons  []conInfo
+}
+
+// NewProblem returns an empty problem with the given name and sense.
+func NewProblem(name string, sense Sense) *Problem {
+	return &Problem{Name: name, sense: sense}
+}
+
+// Sense reports the optimization direction.
+func (p *Problem) Sense() Sense { return p.sense }
+
+// NumVars reports the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.vars) }
+
+// NumConstraints reports the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddVar adds a variable with bounds [lo, hi] and zero objective coefficient.
+// Use -Inf/+Inf for unbounded sides. It panics if lo > hi.
+func (p *Problem) AddVar(name string, lo, hi float64) VarID {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %q has lo %g > hi %g", name, lo, hi))
+	}
+	p.vars = append(p.vars, varInfo{name: name, lo: lo, hi: hi})
+	return VarID(len(p.vars) - 1)
+}
+
+// SetObj sets the objective coefficient of v, replacing any previous value.
+func (p *Problem) SetObj(v VarID, coef float64) { p.vars[v].obj = coef }
+
+// Obj returns the objective coefficient of v.
+func (p *Problem) Obj(v VarID) float64 { return p.vars[v].obj }
+
+// VarName returns the name of v.
+func (p *Problem) VarName(v VarID) string { return p.vars[v].name }
+
+// Bounds returns the bounds of v.
+func (p *Problem) Bounds(v VarID) (lo, hi float64) { return p.vars[v].lo, p.vars[v].hi }
+
+// SetBounds replaces the bounds of v. It panics if lo > hi.
+func (p *Problem) SetBounds(v VarID, lo, hi float64) {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %q set lo %g > hi %g", p.vars[v].name, lo, hi))
+	}
+	p.vars[v].lo, p.vars[v].hi = lo, hi
+}
+
+// AddConstraint adds the constraint expr rel rhs and returns its id.
+// Terms referencing the same variable are summed during solving.
+func (p *Problem) AddConstraint(name string, expr Expr, rel Rel, rhs float64) ConID {
+	p.cons = append(p.cons, conInfo{name: name, expr: expr, rel: rel, rhs: rhs})
+	return ConID(len(p.cons) - 1)
+}
+
+// ConName returns the name of c.
+func (p *Problem) ConName(c ConID) string { return p.cons[c].name }
+
+// Constraint returns the expression, relation and right-hand side of c.
+func (p *Problem) Constraint(c ConID) (Expr, Rel, float64) {
+	ci := p.cons[c]
+	return ci.expr, ci.rel, ci.rhs
+}
+
+// Clone returns a deep copy of the problem. Constraint expressions are
+// copied so the clone can be mutated independently.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{Name: p.Name, sense: p.sense}
+	q.vars = append([]varInfo(nil), p.vars...)
+	q.cons = make([]conInfo, len(p.cons))
+	for i, c := range p.cons {
+		cc := c
+		cc.expr.Terms = append([]Term(nil), c.expr.Terms...)
+		q.cons[i] = cc
+	}
+	return q
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means no feasible point exists.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded in the problem's sense.
+	StatusUnbounded
+	// StatusIterLimit means the iteration cap was hit before convergence.
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return "iteration-limit"
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	Objective float64   // in the problem's own sense
+	X         []float64 // one value per variable, in AddVar order
+	// Dual holds one multiplier per user constraint such that, at optimality,
+	// Objective == sum(Dual[i]*rhs[i]) + contributions of finite variable
+	// bounds. Signs follow the convention: for Maximize, duals of LE rows are
+	// >= 0 and duals of GE rows are <= 0; for Minimize the signs flip.
+	Dual       []float64
+	Iterations int
+}
+
+// String renders the solution compactly for debugging.
+func (s *Solution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "status=%s obj=%.6g iters=%d", s.Status, s.Objective, s.Iterations)
+	return b.String()
+}
+
+// SolveOptions tunes the simplex solver. The zero value selects defaults.
+type SolveOptions struct {
+	// MaxIters caps the total simplex pivots across both phases.
+	// 0 selects a size-dependent default.
+	MaxIters int
+	// BoundOverride, if non-nil, replaces the bounds of select variables for
+	// this solve only, leaving the Problem unmodified. Used by branch and
+	// bound to fix variables without cloning the constraint matrix.
+	BoundOverride map[VarID][2]float64
+	// Deadline, when non-zero, aborts the solve (StatusIterLimit) once the
+	// wall clock passes it; checked every few hundred pivots.
+	Deadline time.Time
+}
+
+// Solve solves the problem with default options.
+func (p *Problem) Solve() (*Solution, error) { return p.SolveWith(SolveOptions{}) }

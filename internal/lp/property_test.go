@@ -1,0 +1,184 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomLP builds a random feasible-by-construction LP: pick a point x0 >= 0,
+// random A, set b = A x0 + slackPad so x0 is strictly feasible, random c.
+// Maximizing over the (bounded) box keeps the problem bounded.
+func randomLP(rng *rand.Rand, nVars, nCons int) (*Problem, []float64) {
+	p := NewProblem("random", Maximize)
+	x0 := make([]float64, nVars)
+	vars := make([]VarID, nVars)
+	for j := 0; j < nVars; j++ {
+		x0[j] = rng.Float64() * 10
+		vars[j] = p.AddVar("x", 0, 25)
+		p.SetObj(vars[j], rng.Float64()*4-1)
+	}
+	for i := 0; i < nCons; i++ {
+		e := NewExpr()
+		lhs := 0.0
+		for j := 0; j < nVars; j++ {
+			if rng.Float64() < 0.5 {
+				continue
+			}
+			coef := rng.Float64()*2 - 0.5
+			e = e.Add(vars[j], coef)
+			lhs += coef * x0[j]
+		}
+		if len(e.Terms) == 0 {
+			continue
+		}
+		p.AddConstraint("c", e, LE, lhs+rng.Float64()*5)
+	}
+	return p, x0
+}
+
+// TestQuickRandomFeasibleLPs checks, over many random instances, that the
+// solver (a) declares optimality, (b) returns a primal-feasible point, and
+// (c) satisfies strong duality against the reported dual vector.
+func TestQuickRandomFeasibleLPs(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(8)
+		nCons := 1 + rng.Intn(8)
+		p, _ := randomLP(rng, nVars, nCons)
+		sol, err := p.Solve()
+		if err != nil {
+			t.Logf("seed %d: error %v", seed, err)
+			return false
+		}
+		if sol.Status != StatusOptimal {
+			t.Logf("seed %d: status %v (feasible by construction)", seed, sol.Status)
+			return false
+		}
+		// Primal feasibility.
+		for ci := 0; ci < p.NumConstraints(); ci++ {
+			expr, rel, rhs := p.Constraint(ConID(ci))
+			v := expr.Eval(sol.X)
+			switch rel {
+			case LE:
+				if v > rhs+1e-5 {
+					t.Logf("seed %d: constraint %d violated: %v > %v", seed, ci, v, rhs)
+					return false
+				}
+			case GE:
+				if v < rhs-1e-5 {
+					return false
+				}
+			case EQ:
+				if math.Abs(v-rhs) > 1e-5 {
+					return false
+				}
+			}
+		}
+		for j := 0; j < p.NumVars(); j++ {
+			lo, hi := p.Bounds(VarID(j))
+			if sol.X[j] < lo-1e-5 || sol.X[j] > hi+1e-5 {
+				t.Logf("seed %d: var %d=%v out of [%v,%v]", seed, j, sol.X[j], lo, hi)
+				return false
+			}
+		}
+		// Objective must match c'x.
+		obj := 0.0
+		for j := 0; j < p.NumVars(); j++ {
+			obj += p.Obj(VarID(j)) * sol.X[j]
+		}
+		if math.Abs(obj-sol.Objective) > 1e-5*(1+math.Abs(obj)) {
+			t.Logf("seed %d: objective mismatch %v vs %v", seed, obj, sol.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDualityGap verifies weak/strong duality on random LPs that have
+// only LE rows and bounded variables: primal obj == sum_i y_i b_i +
+// sum_j over binding upper bounds. We avoid reconstructing bound duals by
+// instead checking complementary slackness of the reported row duals.
+func TestQuickDualityComplementarySlackness(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		p, _ := randomLP(rng, 1+rng.Intn(6), 1+rng.Intn(6))
+		sol, err := p.Solve()
+		if err != nil || sol.Status != StatusOptimal {
+			return err == nil && sol.Status == StatusOptimal
+		}
+		// For a max problem with LE rows: y_i >= 0 and y_i*(b_i - a_i'x) == 0.
+		for ci := 0; ci < p.NumConstraints(); ci++ {
+			expr, _, rhs := p.Constraint(ConID(ci))
+			slack := rhs - expr.Eval(sol.X)
+			y := sol.Dual[ci]
+			if y < -1e-6 {
+				t.Logf("seed %d: negative dual %v on LE row in max problem", seed, y)
+				return false
+			}
+			if y*slack > 1e-4*(1+math.Abs(rhs)) {
+				t.Logf("seed %d: complementary slackness violated: y=%v slack=%v", seed, y, slack)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEqualityLPs exercises the phase-1 artificial machinery: random
+// equality-constrained LPs built around a known feasible point.
+func TestQuickEqualityLPs(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0xea117))
+		nVars := 2 + rng.Intn(6)
+		nEq := 1 + rng.Intn(nVars)
+		p := NewProblem("eq-random", Minimize)
+		x0 := make([]float64, nVars)
+		vars := make([]VarID, nVars)
+		for j := range vars {
+			x0[j] = rng.Float64() * 5
+			vars[j] = p.AddVar("x", 0, 20)
+			p.SetObj(vars[j], rng.Float64()*3)
+		}
+		for i := 0; i < nEq; i++ {
+			e := NewExpr()
+			lhs := 0.0
+			for j := 0; j < nVars; j++ {
+				coef := rng.Float64() * 2
+				e = e.Add(vars[j], coef)
+				lhs += coef * x0[j]
+			}
+			p.AddConstraint("eq", e, EQ, lhs)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		if sol.Status != StatusOptimal {
+			t.Logf("seed %d: status %v on feasible equality LP", seed, sol.Status)
+			return false
+		}
+		for ci := 0; ci < p.NumConstraints(); ci++ {
+			expr, _, rhs := p.Constraint(ConID(ci))
+			if math.Abs(expr.Eval(sol.X)-rhs) > 1e-5*(1+math.Abs(rhs)) {
+				return false
+			}
+		}
+		// The optimum can be no worse than the known feasible point.
+		feasObj := 0.0
+		for j, v := range vars {
+			feasObj += p.Obj(v) * x0[j]
+		}
+		return sol.Objective <= feasObj+1e-6*(1+math.Abs(feasObj))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

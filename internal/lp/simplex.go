@@ -1,0 +1,586 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Tolerances for the simplex method. They are package-level constants rather
+// than options because every consumer in this repository operates on
+// similarly scaled data (capacities and demands in the 1..1e4 range).
+const (
+	pivotTol = 1e-9 // smallest usable pivot element
+	feasTol  = 1e-7 // feasibility / phase-1 residual tolerance
+	optTol   = 1e-9 // reduced-cost optimality tolerance
+)
+
+// errNumerics is returned when the tableau degrades beyond repair.
+var errNumerics = errors.New("lp: numerical failure in simplex")
+
+// stdForm is the computational form: minimize c'x subject to Ax = b, x >= 0,
+// with b >= 0. It also remembers how to map a standard solution back to the
+// user's variables and duals.
+type stdForm struct {
+	m, n int // rows, structural+slack+artificial columns
+
+	a [][]float64 // m x n
+	b []float64   // m
+	c []float64   // n, phase-2 costs (0 for slacks/artificials)
+
+	nStruct int // columns 0..nStruct-1 are structural (user-derived)
+	artFrom int // columns >= artFrom are artificials
+
+	// rowUnit[i] is a column that is a (+/-)1 unit vector for row i,
+	// used to read duals off the reduced-cost row; rowUnitSign is its sign.
+	rowUnit     []int
+	rowUnitSign []float64
+
+	// rowFlip[i] is -1 if user row i was negated to make b >= 0, else +1.
+	// Only the first len(p.cons) rows correspond to user constraints.
+	rowFlip []float64
+
+	// varMap describes how each user variable maps onto structural columns:
+	// x_user = shift + sign*x[col] (+ negPart handling for free variables).
+	varMap []stdVarMap
+
+	objConst float64 // constant folded out of the objective by shifts
+	negate   bool    // true when the user problem was Maximize
+}
+
+type stdVarMap struct {
+	col    int     // primary structural column
+	negCol int     // second column for free variables (-1 if none)
+	shift  float64 // additive shift
+	sign   float64 // +1 or -1 (mirrored upper-bounded variables)
+}
+
+// buildStandard converts p (with optional bound overrides) to standard form.
+func buildStandard(p *Problem, override map[VarID][2]float64) (*stdForm, error) {
+	s := &stdForm{negate: p.sense == Maximize}
+	s.varMap = make([]stdVarMap, len(p.vars))
+
+	bounds := func(v int) (float64, float64) {
+		if override != nil {
+			if b, ok := override[VarID(v)]; ok {
+				return b[0], b[1]
+			}
+		}
+		return p.vars[v].lo, p.vars[v].hi
+	}
+
+	// Assign structural columns.
+	type upperRow struct {
+		col int
+		rhs float64
+	}
+	var uppers []upperRow
+	ncols := 0
+	for j := range p.vars {
+		lo, hi := bounds(j)
+		if lo > hi {
+			return nil, fmt.Errorf("lp: variable %q has lo %g > hi %g", p.vars[j].name, lo, hi)
+		}
+		vm := stdVarMap{col: ncols, negCol: -1, sign: 1}
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			vm.negCol = ncols + 1
+			ncols += 2
+		case math.IsInf(lo, -1):
+			// x = hi - x', x' >= 0.
+			vm.shift = hi
+			vm.sign = -1
+			ncols++
+		default:
+			// x = lo + x', x' >= 0, optionally x' <= hi-lo.
+			vm.shift = lo
+			ncols++
+			if !math.IsInf(hi, 1) {
+				uppers = append(uppers, upperRow{col: vm.col, rhs: hi - lo})
+			}
+		}
+		s.varMap[j] = vm
+	}
+	s.nStruct = ncols
+
+	objSign := 1.0
+	if s.negate {
+		objSign = -1
+	}
+
+	// Dense rows over structural columns first; slacks/artificials appended.
+	nUser := len(p.cons)
+	m := nUser + len(uppers)
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	rels := make([]Rel, m)
+	for i, con := range p.cons {
+		row := make([]float64, ncols)
+		r := con.rhs
+		for _, t := range con.expr.Terms {
+			vm := s.varMap[t.Var]
+			if vm.negCol >= 0 {
+				row[vm.col] += t.Coef
+				row[vm.negCol] -= t.Coef
+				continue
+			}
+			row[vm.col] += t.Coef * vm.sign
+			r -= t.Coef * vm.shift
+		}
+		rows[i], rhs[i], rels[i] = row, r, con.rel
+	}
+	for k, u := range uppers {
+		row := make([]float64, ncols)
+		row[u.col] = 1
+		rows[nUser+k], rhs[nUser+k], rels[nUser+k] = row, u.rhs, LE
+	}
+
+	// Objective over structural columns.
+	s.c = make([]float64, ncols)
+	for j := range p.vars {
+		cj := p.vars[j].obj * objSign
+		if cj == 0 {
+			continue
+		}
+		vm := s.varMap[j]
+		if vm.negCol >= 0 {
+			s.c[vm.col] += cj
+			s.c[vm.negCol] -= cj
+			continue
+		}
+		s.c[vm.col] += cj * vm.sign
+		s.objConst += cj * vm.shift
+	}
+
+	// Normalize b >= 0, then append slack/surplus and artificial columns.
+	s.rowFlip = make([]float64, m)
+	s.rowUnit = make([]int, m)
+	s.rowUnitSign = make([]float64, m)
+	type extra struct {
+		row  int
+		coef float64
+		art  bool
+	}
+	var extras []extra
+	for i := 0; i < m; i++ {
+		s.rowFlip[i] = 1
+		if rhs[i] < 0 {
+			s.rowFlip[i] = -1
+			rhs[i] = -rhs[i]
+			for j := range rows[i] {
+				rows[i][j] = -rows[i][j]
+			}
+			switch rels[i] {
+			case LE:
+				rels[i] = GE
+			case GE:
+				rels[i] = LE
+			}
+		}
+		switch rels[i] {
+		case LE:
+			extras = append(extras, extra{row: i, coef: 1})
+		case GE:
+			extras = append(extras, extra{row: i, coef: -1})
+			extras = append(extras, extra{row: i, coef: 1, art: true})
+		case EQ:
+			extras = append(extras, extra{row: i, coef: 1, art: true})
+		}
+	}
+	nSlack := 0
+	for _, e := range extras {
+		if !e.art {
+			nSlack++
+		}
+	}
+	total := ncols + len(extras)
+	s.artFrom = total // adjusted below once artificial columns are placed
+	// Place non-artificial slacks first, then artificials, so that
+	// "column >= artFrom" identifies artificials.
+	colOf := make([]int, len(extras))
+	next := ncols
+	for k, e := range extras {
+		if !e.art {
+			colOf[k] = next
+			next++
+		}
+	}
+	s.artFrom = next
+	for k, e := range extras {
+		if e.art {
+			colOf[k] = next
+			next++
+		}
+	}
+
+	s.m, s.n = m, total
+	s.a = make([][]float64, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, total)
+		copy(row, rows[i])
+		s.a[i] = row
+	}
+	s.b = rhs
+	cfull := make([]float64, total)
+	copy(cfull, s.c)
+	s.c = cfull
+
+	for k, e := range extras {
+		col := colOf[k]
+		s.a[e.row][col] = e.coef
+		// Unit columns with +1 give the cleanest dual read-off; prefer the
+		// artificial when present (GE rows), else the slack.
+		if e.coef > 0 || s.rowUnit[e.row] == 0 && s.rowUnitSign[e.row] == 0 {
+			s.rowUnit[e.row] = col
+			s.rowUnitSign[e.row] = e.coef
+		}
+	}
+	return s, nil
+}
+
+// tableau carries the mutable simplex state.
+type tableau struct {
+	s        *stdForm
+	basis    []int     // basic column per row
+	inBasis  []bool    // column -> basic?
+	r        []float64 // reduced costs for the current phase
+	obj      float64   // current phase objective value
+	iters    int
+	max      int
+	blocked  []bool    // columns forbidden from entering (artificials in phase 2)
+	deadline time.Time // zero means none
+}
+
+// SolveWith solves the problem with the given options.
+func (p *Problem) SolveWith(opts SolveOptions) (*Solution, error) {
+	s, err := buildStandard(p, opts.BoundOverride)
+	if err != nil {
+		return nil, err
+	}
+	t := &tableau{s: s, deadline: opts.Deadline}
+	t.max = opts.MaxIters
+	if t.max <= 0 {
+		t.max = 2000 + 60*(s.m+s.n)
+	}
+	t.basis = make([]int, s.m)
+	t.inBasis = make([]bool, s.n)
+	t.blocked = make([]bool, s.n)
+
+	// Initial basis: for each row pick its +1 unit column (slack for LE,
+	// artificial for GE/EQ).
+	// Initial basis. Each slack/artificial column touches exactly one row
+	// by construction, so a +1 entry in row i identifies row i's own column.
+	// Prefer a slack (+1); otherwise try a crash pivot on a singleton
+	// structural column (KKT rewrites produce one explicit slack variable
+	// per inner row, which lands here and avoids an artificial); only then
+	// fall back to the artificial.
+	needCrash := false
+	for i := 0; i < s.m; i++ {
+		t.basis[i] = -1
+		for j := s.nStruct; j < s.artFrom; j++ {
+			if s.a[i][j] == 1 && !t.inBasis[j] {
+				t.basis[i] = j
+				t.inBasis[j] = true
+				break
+			}
+		}
+		if t.basis[i] == -1 {
+			needCrash = true
+		}
+	}
+	if needCrash {
+		// Count structural nonzeros per column to find singletons.
+		rowOf := make([]int, s.nStruct)
+		count := make([]int, s.nStruct)
+		for i := 0; i < s.m; i++ {
+			row := s.a[i]
+			for j := 0; j < s.nStruct; j++ {
+				if row[j] != 0 {
+					count[j]++
+					rowOf[j] = i
+				}
+			}
+		}
+		for j := 0; j < s.nStruct; j++ {
+			i := rowOf[j]
+			if count[j] != 1 || t.basis[i] != -1 || s.a[i][j] <= pivotTol {
+				continue
+			}
+			// The column is zero outside row i, so this pivot only rescales
+			// row i: O(n) rather than O(m*n).
+			t.pivot2(i, j)
+			t.basis[i] = j
+			t.inBasis[j] = true
+		}
+	}
+	hasArt := false
+	for i := 0; i < s.m; i++ {
+		if t.basis[i] != -1 {
+			continue
+		}
+		col := -1
+		for j := s.artFrom; j < s.n; j++ {
+			if s.a[i][j] == 1 && !t.inBasis[j] {
+				col = j
+				break
+			}
+		}
+		if col == -1 {
+			return nil, errNumerics
+		}
+		hasArt = true
+		t.basis[i] = col
+		t.inBasis[col] = true
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if hasArt {
+		phase1 := make([]float64, s.n)
+		for j := s.artFrom; j < s.n; j++ {
+			phase1[j] = 1
+		}
+		t.resetCosts(phase1)
+		st := t.run()
+		if st == StatusIterLimit {
+			return &Solution{Status: StatusIterLimit, Iterations: t.iters}, nil
+		}
+		if st != StatusOptimal || t.obj > feasTol {
+			return &Solution{Status: StatusInfeasible, Iterations: t.iters}, nil
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i := 0; i < s.m; i++ {
+			if t.basis[i] < s.artFrom {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < s.artFrom; j++ {
+				if !t.inBasis[j] && math.Abs(s.a[i][j]) > pivotTol {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			_ = pivoted // a fully zero row is redundant; its artificial stays at 0
+		}
+	}
+	// Artificial columns must never enter again — even when phase 1 was
+	// skipped entirely (crash basis), they exist in the tableau with zero
+	// cost and would otherwise re-enter and fake feasibility.
+	for j := s.artFrom; j < s.n; j++ {
+		t.blocked[j] = true
+	}
+
+	// Phase 2: the real objective.
+	t.resetCosts(s.c)
+	st := t.run()
+
+	sol := &Solution{Status: st, Iterations: t.iters}
+	if st == StatusUnbounded {
+		return sol, nil
+	}
+	if st == StatusIterLimit {
+		return sol, nil
+	}
+
+	// Recover the standard-form primal point.
+	xs := make([]float64, s.n)
+	for i, col := range t.basis {
+		xs[col] = s.b[i]
+	}
+	// Map back to user variables.
+	sol.X = make([]float64, len(p.vars))
+	for j := range p.vars {
+		vm := s.varMap[j]
+		v := vm.shift + vm.sign*xs[vm.col]
+		if vm.negCol >= 0 {
+			v = xs[vm.col] - xs[vm.negCol]
+		}
+		sol.X[j] = v
+	}
+	objStd := t.obj + s.objConst
+	if s.negate {
+		sol.Objective = -objStd
+	} else {
+		sol.Objective = objStd
+	}
+
+	// Duals: y_i = -(reduced cost of row i's +1 unit column) in the
+	// standardized min problem; map through row flips and problem sense.
+	sol.Dual = make([]float64, len(p.cons))
+	for i := range p.cons {
+		col := s.rowUnit[i]
+		y := -t.r[col] / s.rowUnitSign[i]
+		y *= s.rowFlip[i]
+		if s.negate {
+			y = -y
+		}
+		sol.Dual[i] = y
+	}
+	return sol, nil
+}
+
+// resetCosts installs a cost vector and recomputes reduced costs and the
+// objective for the current basis.
+func (t *tableau) resetCosts(c []float64) {
+	s := t.s
+	t.r = make([]float64, s.n)
+	copy(t.r, c)
+	t.obj = 0
+	for i, col := range t.basis {
+		cb := c[col]
+		if cb == 0 {
+			continue
+		}
+		t.obj += cb * s.b[i]
+		row := s.a[i]
+		for j := 0; j < s.n; j++ {
+			t.r[j] -= cb * row[j]
+		}
+	}
+	// Basic columns have exactly zero reduced cost by definition.
+	for _, col := range t.basis {
+		t.r[col] = 0
+	}
+}
+
+// pivot2 normalizes row pr so that column pc becomes 1. Valid only when
+// column pc is zero outside row pr (crash pivots on singleton columns), so
+// no other row or the cost row needs updating.
+func (t *tableau) pivot2(pr, pc int) {
+	s := t.s
+	prow := s.a[pr]
+	piv := prow[pc]
+	if piv == 1 {
+		return
+	}
+	inv := 1 / piv
+	for j := 0; j < s.n; j++ {
+		prow[j] *= inv
+	}
+	prow[pc] = 1
+	s.b[pr] *= inv
+}
+
+// run iterates pivots until optimality, unboundedness, or the iteration cap.
+func (t *tableau) run() Status {
+	s := t.s
+	stall := 0
+	for {
+		if t.iters >= t.max {
+			return StatusIterLimit
+		}
+		if !t.deadline.IsZero() && t.iters%128 == 0 && time.Now().After(t.deadline) {
+			return StatusIterLimit
+		}
+		bland := stall > 2*(s.m+8)
+		pc := t.price(bland)
+		if pc == -1 {
+			return StatusOptimal
+		}
+		pr := t.ratio(pc)
+		if pr == -1 {
+			return StatusUnbounded
+		}
+		before := t.obj
+		t.pivot(pr, pc)
+		t.iters++
+		if t.obj < before-optTol {
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+}
+
+// price selects the entering column, or -1 at optimality.
+func (t *tableau) price(bland bool) int {
+	best, bestVal := -1, -optTol
+	for j := 0; j < t.s.n; j++ {
+		if t.inBasis[j] || t.blocked[j] {
+			continue
+		}
+		if r := t.r[j]; r < bestVal {
+			if bland {
+				return j
+			}
+			best, bestVal = j, r
+		}
+	}
+	return best
+}
+
+// ratio selects the leaving row for entering column pc, or -1 if unbounded.
+// Ties prefer rows whose basic variable is artificial (driving them out),
+// then the smallest basic column index (Bland-compatible).
+func (t *tableau) ratio(pc int) int {
+	s := t.s
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < s.m; i++ {
+		aij := s.a[i][pc]
+		if aij <= pivotTol {
+			continue
+		}
+		ratio := s.b[i] / aij
+		switch {
+		case ratio < bestRatio-feasTol:
+			best, bestRatio = i, ratio
+		case ratio <= bestRatio+feasTol:
+			// Tie-break.
+			bi, bb := t.basis[i], t.basis[best]
+			iArt, bArt := bi >= s.artFrom, bb >= s.artFrom
+			if iArt && !bArt || (iArt == bArt && bi < bb) {
+				best, bestRatio = i, math.Min(bestRatio, ratio)
+			}
+		}
+	}
+	return best
+}
+
+// pivot performs a pivot on (pr, pc), updating rows, rhs, reduced costs,
+// objective, and the basis.
+func (t *tableau) pivot(pr, pc int) {
+	s := t.s
+	prow := s.a[pr]
+	piv := prow[pc]
+	inv := 1 / piv
+	for j := 0; j < s.n; j++ {
+		prow[j] *= inv
+	}
+	prow[pc] = 1
+	s.b[pr] *= inv
+	if s.b[pr] < 0 && s.b[pr] > -feasTol {
+		s.b[pr] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		if i == pr {
+			continue
+		}
+		f := s.a[i][pc]
+		if f == 0 {
+			continue
+		}
+		row := s.a[i]
+		for j := 0; j < s.n; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[pc] = 0
+		s.b[i] -= f * s.b[pr]
+		if s.b[i] < 0 && s.b[i] > -feasTol {
+			s.b[i] = 0
+		}
+	}
+	if f := t.r[pc]; f != 0 {
+		for j := 0; j < s.n; j++ {
+			t.r[j] -= f * prow[j]
+		}
+		t.r[pc] = 0
+		// The entering variable takes value b[pr] (already rescaled); the
+		// objective moves by its pre-pivot reduced cost times that value.
+		t.obj += f * s.b[pr]
+	}
+	t.inBasis[t.basis[pr]] = false
+	t.basis[pr] = pc
+	t.inBasis[pc] = true
+}

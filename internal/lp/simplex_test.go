@@ -1,0 +1,232 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCrashBasisOnExplicitSlackForm exercises the singleton-column crash:
+// KKT-style rows "a'x + s = b" with explicit slack variables must solve
+// without phase-1 artificials dominating the work.
+func TestCrashBasisOnExplicitSlackForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewProblem("slack-form", Maximize)
+	n := 14
+	xs := make([]VarID, n)
+	for j := range xs {
+		xs[j] = p.AddVar("x", 0, Inf)
+		p.SetObj(xs[j], 1+rng.Float64())
+	}
+	for i := 0; i < 10; i++ {
+		s := p.AddVar("s", 0, Inf) // explicit slack: singleton column
+		e := NewExpr().Add(s, 1)
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				e = e.Add(xs[j], 0.5+rng.Float64())
+			}
+		}
+		p.AddConstraint("row", e, EQ, 5+rng.Float64()*20)
+	}
+	sol := requireOptimal(t, p)
+	// Feasibility of the equality rows.
+	for ci := 0; ci < p.NumConstraints(); ci++ {
+		expr, _, rhs := p.Constraint(ConID(ci))
+		if v := expr.Eval(sol.X); v < rhs-1e-5 || v > rhs+1e-5 {
+			t.Fatalf("row %d: %v != %v", ci, v, rhs)
+		}
+	}
+}
+
+// TestCrashBasisRejectsNegativeSingleton: a singleton column with a negative
+// coefficient (post-flip) cannot seed the basis; the artificial path must
+// still produce the right answer.
+func TestCrashBasisRejectsNegativeSingleton(t *testing.T) {
+	p := NewProblem("neg-singleton", Minimize)
+	x := p.AddVar("x", 0, Inf)
+	y := p.AddVar("y", 0, Inf)
+	p.SetObj(x, 1)
+	p.SetObj(y, 1)
+	// y appears once with coefficient -1: x - y = 3 => x = 3 + y.
+	p.AddConstraint("eq", NewExpr().Add(x, 1).Add(y, -1), EQ, 3)
+	sol := requireOptimal(t, p)
+	if !almost(sol.X[x], 3) || !almost(sol.X[y], 0) {
+		t.Fatalf("x=%v y=%v, want 3/0", sol.X[x], sol.X[y])
+	}
+}
+
+func TestDeadlineAborts(t *testing.T) {
+	// A big LP with an already-expired deadline must return quickly with
+	// the iteration-limit status rather than solving.
+	rng := rand.New(rand.NewSource(7))
+	p := NewProblem("deadline", Maximize)
+	n := 60
+	vars := make([]VarID, n)
+	for j := range vars {
+		vars[j] = p.AddVar("x", 0, 50)
+		p.SetObj(vars[j], rng.Float64())
+	}
+	for i := 0; i < 60; i++ {
+		e := NewExpr()
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				e = e.Add(vars[j], rng.Float64())
+			}
+		}
+		if len(e.Terms) > 0 {
+			p.AddConstraint("c", e, LE, 10+rng.Float64()*50)
+		}
+	}
+	sol, err := p.SolveWith(SolveOptions{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusIterLimit {
+		t.Fatalf("status=%v, want iteration-limit on expired deadline", sol.Status)
+	}
+}
+
+func TestMaxItersReturnsIterLimit(t *testing.T) {
+	p := NewProblem("cap", Maximize)
+	x := p.AddVar("x", 0, Inf)
+	y := p.AddVar("y", 0, Inf)
+	p.SetObj(x, 1)
+	p.SetObj(y, 1)
+	p.AddConstraint("a", NewExpr().Add(x, 1).Add(y, 2), LE, 10)
+	p.AddConstraint("b", NewExpr().Add(x, 2).Add(y, 1), LE, 10)
+	sol, err := p.SolveWith(SolveOptions{MaxIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusIterLimit && sol.Status != StatusOptimal {
+		t.Fatalf("status=%v", sol.Status)
+	}
+}
+
+// TestLargeMaxFlowStyleLP solves a synthetic max-flow-shaped LP of the size
+// the meta optimization produces per node, as a performance smoke test.
+func TestLargeMaxFlowStyleLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := NewProblem("large", Maximize)
+	const flows = 300
+	const caps = 60
+	vars := make([]VarID, flows)
+	for j := range vars {
+		vars[j] = p.AddVar("f", 0, Inf)
+		p.SetObj(vars[j], 1)
+	}
+	rows := make([]Expr, caps)
+	for j := 0; j < flows; j++ {
+		// Each flow crosses 2-4 capacity rows.
+		k := 2 + rng.Intn(3)
+		for c := 0; c < k; c++ {
+			r := rng.Intn(caps)
+			rows[r] = rows[r].Add(vars[j], 1)
+		}
+	}
+	for r := range rows {
+		if len(rows[r].Terms) > 0 {
+			p.AddConstraint("cap", rows[r], LE, 100)
+		}
+	}
+	for j := 0; j < flows; j += 1 {
+		p.AddConstraint("dem", NewExpr().Add(vars[j], 1), LE, 30)
+	}
+	start := time.Now()
+	sol := requireOptimal(t, p)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("large LP took %v", elapsed)
+	}
+	if sol.Objective <= 0 {
+		t.Fatal("degenerate solution")
+	}
+}
+
+// TestDualSignsMinimizeGE: for Minimize with GE rows duals are >= 0 under
+// our documented convention... the convention says for Minimize the signs
+// flip relative to Maximize: GE rows get >= 0 multipliers.
+func TestDualSignsMinimizeGE(t *testing.T) {
+	p := NewProblem("signs", Minimize)
+	x := p.AddVar("x", 0, Inf)
+	y := p.AddVar("y", 0, Inf)
+	p.SetObj(x, 2)
+	p.SetObj(y, 3)
+	p.AddConstraint("c1", NewExpr().Add(x, 1).Add(y, 1), GE, 4)
+	p.AddConstraint("c2", NewExpr().Add(y, 1), GE, 1)
+	sol := requireOptimal(t, p)
+	// Optimum: y=1 (forced), x=3 => obj 9. Duals: y1 from c1 = 2 (raising
+	// rhs by 1 costs 2 more units of x), y2 = 1 (y costs 3, saves 2 via c1).
+	if !almost(sol.Objective, 9) {
+		t.Fatalf("obj=%v", sol.Objective)
+	}
+	if !almost(sol.Dual[0], 2) || !almost(sol.Dual[1], 1) {
+		t.Fatalf("duals=%v, want [2 1]", sol.Dual)
+	}
+	// Strong duality.
+	if !almost(sol.Dual[0]*4+sol.Dual[1]*1, sol.Objective) {
+		t.Fatalf("strong duality violated")
+	}
+}
+
+// TestBealeCycling solves Beale's classic cycling example; Dantzig pricing
+// with textbook tie-breaking cycles forever on it, so this exercises the
+// stall detection and Bland fallback.
+func TestBealeCycling(t *testing.T) {
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7
+	// s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+	//      0.5x4  - 90x5 - 0.02x6 + 3x7 <= 0
+	//      x6 <= 1
+	// Optimum: -0.05 at x4 = 0.04/0.8... known optimal objective -1/20.
+	p := NewProblem("beale", Minimize)
+	x4 := p.AddVar("x4", 0, Inf)
+	x5 := p.AddVar("x5", 0, Inf)
+	x6 := p.AddVar("x6", 0, Inf)
+	x7 := p.AddVar("x7", 0, Inf)
+	p.SetObj(x4, -0.75)
+	p.SetObj(x5, 150)
+	p.SetObj(x6, -0.02)
+	p.SetObj(x7, 6)
+	p.AddConstraint("r1", NewExpr().Add(x4, 0.25).Add(x5, -60).Add(x6, -1.0/25).Add(x7, 9), LE, 0)
+	p.AddConstraint("r2", NewExpr().Add(x4, 0.5).Add(x5, -90).Add(x6, -1.0/50).Add(x7, 3), LE, 0)
+	p.AddConstraint("r3", NewExpr().Add(x6, 1), LE, 1)
+	sol := requireOptimal(t, p)
+	if !almost(sol.Objective, -0.05) {
+		t.Fatalf("obj=%v, want -0.05", sol.Objective)
+	}
+}
+
+// TestKleeMintyStaysSane: a 3-dimensional Klee-Minty cube — worst case for
+// Dantzig pricing — must still terminate at the optimum.
+func TestKleeMinty3(t *testing.T) {
+	p := NewProblem("klee-minty", Maximize)
+	n := 3
+	xs := make([]VarID, n)
+	for j := range xs {
+		xs[j] = p.AddVar("x", 0, Inf)
+	}
+	// max sum 2^{n-j-1} x_j s.t. nested constraints.
+	for j := 0; j < n; j++ {
+		p.SetObj(xs[j], float64(int(1)<<(n-j-1)))
+	}
+	for i := 0; i < n; i++ {
+		e := NewExpr()
+		for j := 0; j < i; j++ {
+			e = e.Add(xs[j], float64(int(1)<<(i-j+1)))
+		}
+		e = e.Add(xs[i], 1)
+		p.AddConstraint("km", e, LE, float64(pow5(i+1)))
+	}
+	sol := requireOptimal(t, p)
+	// Known optimum: x_n = 5^n, objective 5^n.
+	if !almost(sol.Objective, float64(pow5(n))) {
+		t.Fatalf("obj=%v, want %v", sol.Objective, pow5(n))
+	}
+}
+
+func pow5(k int) int {
+	out := 1
+	for i := 0; i < k; i++ {
+		out *= 5
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package mcf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/demand"
+	"repro/internal/topology"
+)
+
+func TestMaxConcurrentLine(t *testing.T) {
+	// Two demands share one 100-capacity link: d0 = 100, d1 = 100.
+	// Max concurrent lambda = 0.5 (each gets 50).
+	g := topology.Line(2)
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}})
+	set.SetVolumes([]float64{200})
+	inst, err := NewInstance(g, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, lam, err := SolveMaxConcurrent(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lam, 0.5) || !almost(f.Total, 100) {
+		t.Fatalf("lambda=%v total=%v, want 0.5/100", lam, f.Total)
+	}
+}
+
+func TestMaxConcurrentFullySatisfiable(t *testing.T) {
+	g := topology.Figure1()
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	set.SetVolumes([]float64{50, 50, 25})
+	inst, err := NewInstance(g, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lam, err := SolveMaxConcurrent(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lam, 1) {
+		t.Fatalf("lambda=%v, want 1 (demands fit)", lam)
+	}
+}
+
+func TestMaxConcurrentZeroVolumesIgnored(t *testing.T) {
+	g := topology.Figure1()
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	set.SetVolumes([]float64{0, 100, 0})
+	inst, err := NewInstance(g, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, lam, err := SolveMaxConcurrent(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lam, 1) || !almost(f.Total, 100) {
+		t.Fatalf("lambda=%v total=%v", lam, f.Total)
+	}
+}
+
+func TestDPConcurrentFigure1(t *testing.T) {
+	// Figure-1 demands: pinning 0->2 (50) on the 2-hop path leaves 50/50
+	// residual for the two big demands => lambda = 0.5. The concurrent OPT
+	// achieves lambda = 1 using the direct link.
+	inst := figure1Instance(t)
+	_, lamOpt, err := SolveMaxConcurrent(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpFlow, lamDP, err := SolveDemandPinningConcurrent(inst, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lamOpt, 1) {
+		t.Fatalf("OPT lambda=%v, want 1", lamOpt)
+	}
+	if !almost(lamDP, 0.5) {
+		t.Fatalf("DP lambda=%v, want 0.5", lamDP)
+	}
+	if err := dpFlow.Check(inst, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPConcurrentInfeasible(t *testing.T) {
+	g := topology.Line(2)
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}})
+	set.SetVolumes([]float64{150})
+	inst, err := NewInstance(g, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SolveDemandPinningConcurrent(inst, 200); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err=%v, want ErrInfeasible", err)
+	}
+}
+
+func TestDPConcurrentAllPinned(t *testing.T) {
+	g := topology.Line(3)
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	set.SetVolumes([]float64{30, 30})
+	inst, err := NewInstance(g, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, lam, err := SolveDemandPinningConcurrent(inst, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lam, 1) || !almost(f.Total, 60) {
+		t.Fatalf("lambda=%v total=%v", lam, f.Total)
+	}
+}
+
+// TestQuickConcurrentDominance: OPT's lambda dominates DP's lambda, and both
+// flows are feasible, across random instances.
+func TestQuickConcurrentDominance(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.Circle(5+rng.Intn(3), 1)
+		set := demand.AllPairs(g)
+		set.Uniform(rng, 1, 60)
+		inst, err := NewInstance(g, set, 2)
+		if err != nil {
+			return false
+		}
+		fOpt, lamOpt, err := SolveMaxConcurrent(inst)
+		if err != nil || fOpt.Check(inst, 1e-5) != nil {
+			return false
+		}
+		th := rng.Float64() * 20
+		if !DemandPinningFeasible(inst, th) {
+			return true
+		}
+		fDP, lamDP, err := SolveDemandPinningConcurrent(inst, th)
+		if err != nil || fDP.Check(inst, 1e-5) != nil {
+			t.Logf("seed %d: dp err=%v", seed, err)
+			return false
+		}
+		if lamDP > lamOpt+1e-5 {
+			t.Logf("seed %d: DP lambda %v beats OPT %v", seed, lamDP, lamOpt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package mcf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kkt"
+	"repro/internal/lp"
+)
+
+// POPOptions configures the POP heuristic (6). Partitions is the number of
+// subproblems c; Rng drives the uniform random assignment of clients to
+// partitions (required, so runs are reproducible). ClientSplit enables the
+// Appendix-A extension: demands at or above SplitThreshold are halved
+// repeatedly (at most MaxSplits times per client) before partitioning,
+// reducing the damage a single large demand can do to one partition.
+type POPOptions struct {
+	Partitions     int
+	Rng            *rand.Rand
+	ClientSplit    bool
+	SplitThreshold float64
+	MaxSplits      int
+}
+
+func (o *POPOptions) validate(inst *Instance) error {
+	if o.Partitions < 1 {
+		return fmt.Errorf("mcf: POP needs >= 1 partition, got %d", o.Partitions)
+	}
+	if o.Rng == nil {
+		return fmt.Errorf("mcf: POP needs a seeded Rng for reproducible partitions")
+	}
+	if o.ClientSplit && (o.SplitThreshold <= 0 || o.MaxSplits < 1) {
+		return fmt.Errorf("mcf: client splitting needs SplitThreshold > 0 and MaxSplits >= 1")
+	}
+	_ = inst
+	return nil
+}
+
+// Client is a unit of partitioning: a demand index and the volume this
+// client carries. Without client splitting every demand is one client.
+type Client struct {
+	Demand int
+	Volume float64
+}
+
+// SplitClients implements Appendix A's client splitting: each demand whose
+// volume is at or above threshold is halved until it drops below the
+// threshold or has been split maxSplits times, yielding 2^s equal clients.
+func SplitClients(vols []float64, threshold float64, maxSplits int) []Client {
+	var out []Client
+	for k, v := range vols {
+		splits := 0
+		vol := v
+		for vol >= threshold && splits < maxSplits {
+			vol /= 2
+			splits++
+		}
+		n := 1 << splits
+		for i := 0; i < n; i++ {
+			out = append(out, Client{Demand: k, Volume: vol})
+		}
+	}
+	return out
+}
+
+// PartitionClients assigns clients uniformly at random to partitions and
+// returns, per partition, the aggregate volume per demand index (clients of
+// the same demand landing in the same partition pool their volume — the
+// flow LP cannot tell them apart).
+func PartitionClients(clients []Client, partitions int, numDemands int, rng *rand.Rand) [][]float64 {
+	assign := RandomAssignment(len(clients), partitions, rng)
+	return AggregateAssigned(clients, assign, partitions, numDemands)
+}
+
+// RandomAssignment draws a uniform partition index for each of n clients —
+// the randomness POP's guarantees hinge on. Separating the draw from the
+// solve lets the gap finder optimize against fixed instantiations and then
+// test the found input on fresh ones (Figure 5a).
+func RandomAssignment(n, partitions int, rng *rand.Rand) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(partitions)
+	}
+	return a
+}
+
+// AggregateAssigned pools client volumes per (partition, demand) under a
+// fixed client-to-partition assignment.
+func AggregateAssigned(clients []Client, assign []int, partitions, numDemands int) [][]float64 {
+	per := make([][]float64, partitions)
+	for c := range per {
+		per[c] = make([]float64, numDemands)
+	}
+	for i, cl := range clients {
+		per[assign[i]][cl.Demand] += cl.Volume
+	}
+	return per
+}
+
+// SolvePOPAssigned solves POP under a fixed client-to-partition assignment.
+func SolvePOPAssigned(inst *Instance, clients []Client, assign []int, partitions int) (*Flow, error) {
+	if len(assign) != len(clients) {
+		return nil, fmt.Errorf("mcf: %d assignments for %d clients", len(assign), len(clients))
+	}
+	per := AggregateAssigned(clients, assign, partitions, inst.Demands.Len())
+	out := newFlow(inst)
+	capFrac := 1 / float64(partitions)
+	for c := 0; c < partitions; c++ {
+		pv := per[c]
+		fl := BuildInnerMaxFlow(fmt.Sprintf("pop%d", c), inst, func(k int) kkt.AffineRHS {
+			return kkt.Constant(pv[k])
+		}, capFrac, func(k int) bool { return pv[k] > 0 }, 0)
+		if fl.LP.NumVars == 0 {
+			continue
+		}
+		sol, xs, err := solveInner(fl.LP)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.StatusOptimal {
+			return nil, fmt.Errorf("mcf: POP partition %d LP %v", c, sol.Status)
+		}
+		for k, ps := range inst.Paths {
+			for p := range ps {
+				if idx := fl.Index[k][p]; idx != -1 {
+					out.add(k, p, sol.X[xs[idx]])
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Clients materializes the client list for an instance under the options:
+// one client per demand, or the Appendix-A split set.
+func Clients(inst *Instance, opts POPOptions) []Client {
+	vols := inst.Demands.Volumes()
+	if opts.ClientSplit {
+		return SplitClients(vols, opts.SplitThreshold, opts.MaxSplits)
+	}
+	clients := make([]Client, len(vols))
+	for k, v := range vols {
+		clients[k] = Client{Demand: k, Volume: v}
+	}
+	return clients
+}
+
+// SolvePOP solves POPMaxFlow (6): clients are partitioned uniformly at
+// random, each partition solves OptMaxFlow over its own demands with every
+// edge capacity divided by the partition count, and the flows are unioned.
+func SolvePOP(inst *Instance, opts POPOptions) (*Flow, error) {
+	if err := opts.validate(inst); err != nil {
+		return nil, err
+	}
+	clients := Clients(inst, opts)
+	assign := RandomAssignment(len(clients), opts.Partitions, opts.Rng)
+	return SolvePOPAssigned(inst, clients, assign, opts.Partitions)
+}
+
+// ExpectedPOPTotal estimates E[POP total flow] over rounds independent
+// random partitionings — the deterministic descriptor the paper optimizes
+// against in expectation mode.
+func ExpectedPOPTotal(inst *Instance, opts POPOptions, rounds int) (float64, error) {
+	if rounds < 1 {
+		return 0, fmt.Errorf("mcf: need >= 1 round")
+	}
+	sum := 0.0
+	for r := 0; r < rounds; r++ {
+		f, err := SolvePOP(inst, opts)
+		if err != nil {
+			return 0, err
+		}
+		sum += f.Total
+	}
+	return sum / float64(rounds), nil
+}

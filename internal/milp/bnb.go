@@ -1,0 +1,336 @@
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+const (
+	intTol   = 1e-6 // integrality tolerance for binaries
+	complTol = 1e-6 // complementarity violation tolerance: min(u,v) below this is satisfied
+	boundTol = 1e-7 // pruning slack
+)
+
+// node is a branch-and-bound node: a set of bound overrides plus the bound
+// inherited from its parent's relaxation.
+type node struct {
+	overrides map[lp.VarID][2]float64
+	bound     float64 // parent relaxation objective, in maximize-direction score
+	depth     int
+}
+
+type nodeHeap struct {
+	nodes      []*node
+	depthFirst bool
+}
+
+func (h *nodeHeap) Len() int { return len(h.nodes) }
+func (h *nodeHeap) Less(i, j int) bool {
+	if h.depthFirst {
+		if h.nodes[i].depth != h.nodes[j].depth {
+			return h.nodes[i].depth > h.nodes[j].depth
+		}
+	}
+	return h.nodes[i].bound > h.nodes[j].bound
+}
+func (h *nodeHeap) Swap(i, j int) { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
+func (h *nodeHeap) Push(x any)    { h.nodes = append(h.nodes, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := h.nodes
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	h.nodes = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound on the model. The LP's own sense is honored:
+// for Maximize the bound decreases toward the incumbent from above, for
+// Minimize from below.
+func Solve(m *Model, opts Options) (*Result, error) {
+	start := time.Now()
+	dir := 1.0
+	if m.P.Sense() == lp.Minimize {
+		dir = -1
+	}
+	if opts.AbsGapTol == 0 {
+		opts.AbsGapTol = 1e-6
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	res := &Result{Status: StatusNoIncumbent}
+	incumbent := math.Inf(-1) // in score space (dir * objective)
+	var incumbentX []float64
+	bestBound := math.Inf(1)
+
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	// Stall rule state (paper Section 3.3: stop when incremental progress in
+	// a window is below 0.5%).
+	windowStart := start
+	windowIncumbent := incumbent
+
+	h := &nodeHeap{depthFirst: opts.DepthFirst}
+	heap.Push(h, &node{bound: math.Inf(1)})
+
+	solveNode := func(nd *node) (*lp.Solution, error) {
+		res.LPSolves++
+		return m.P.SolveWith(lp.SolveOptions{
+			BoundOverride: nd.overrides,
+			MaxIters:      opts.LPMaxIters,
+			Deadline:      deadline, // zero when no time limit is set
+		})
+	}
+
+	finish := func(status Status) *Result {
+		res.Elapsed = time.Since(start)
+		res.Status = status
+		if incumbentX != nil {
+			res.Objective = dir * incumbent
+			res.X = incumbentX
+		}
+		if math.IsInf(bestBound, 1) && incumbentX != nil {
+			res.Bound = res.Objective
+		} else {
+			res.Bound = dir * bestBound
+		}
+		return res
+	}
+
+	infeasibleProven := true // becomes false the moment we stop early
+
+	// Install caller-provided seed solutions as starting incumbents.
+	for _, sd := range opts.Seeds {
+		if score := dir * sd.Objective; score > incumbent {
+			incumbent = score
+			incumbentX = append([]float64(nil), sd.X...)
+			res.Trace = append(res.Trace, TracePoint{Objective: sd.Objective})
+			if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
+				infeasibleProven = false
+				return finish(StatusFeasible), nil
+			}
+		}
+	}
+	windowIncumbent = incumbent
+
+	for h.Len() > 0 {
+		// Global bound = best of incumbent and all open node bounds; the heap
+		// top carries the largest open bound when using best-bound order.
+		if !opts.DepthFirst {
+			bestBound = h.nodes[0].bound
+		} else {
+			bb := incumbent
+			for _, nd := range h.nodes {
+				if nd.bound > bb {
+					bb = nd.bound
+				}
+			}
+			bestBound = bb
+		}
+		if incumbentX != nil {
+			gap := bestBound - incumbent
+			if gap <= opts.AbsGapTol || (opts.RelGapTol > 0 && gap <= opts.RelGapTol*math.Abs(incumbent)) {
+				return finish(StatusOptimal), nil
+			}
+		}
+		// Stopping rules.
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			infeasibleProven = false
+			break
+		}
+		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			infeasibleProven = false
+			break
+		}
+		if opts.StallWindow > 0 && time.Since(windowStart) > opts.StallWindow {
+			improved := incumbent - windowIncumbent
+			rel := math.Abs(improved) / math.Max(1e-12, math.Abs(incumbent))
+			if incumbentX != nil && rel < opts.StallImprove {
+				logf("bnb: stalling (%.3g%% improvement in window), stopping", rel*100)
+				infeasibleProven = false
+				break
+			}
+			windowStart = time.Now()
+			windowIncumbent = incumbent
+		}
+
+		nd := heap.Pop(h).(*node)
+		if nd.bound <= incumbent+boundTol {
+			continue // pruned by bound
+		}
+		sol, err := solveNode(nd)
+		if err != nil {
+			return nil, err
+		}
+		res.Nodes++
+		switch sol.Status {
+		case lp.StatusInfeasible:
+			continue
+		case lp.StatusUnbounded:
+			// Unbounded relaxations are common here: KKT dual variables have
+			// unbounded rays until complementarity pins them. Branch with an
+			// infinite bound; only a fully resolved unbounded leaf proves the
+			// mixed problem itself unbounded (handled below).
+			sol = nil
+		case lp.StatusIterLimit:
+			// Keep the node's inherited bound and skip — we cannot evaluate
+			// it, and dropping it silently would break infeasibility proofs.
+			infeasibleProven = false
+			continue
+		}
+
+		var score float64
+		var x []float64
+		if sol == nil {
+			score = math.Inf(1)
+		} else {
+			score = dir * sol.Objective
+			x = sol.X
+		}
+		if score <= incumbent+boundTol {
+			continue
+		}
+
+		// Primal heuristic: let the caller turn this relaxation point into a
+		// genuine feasible solution (e.g. by evaluating the true gap of the
+		// relaxation's demand vector with the direct solvers).
+		if opts.Polish != nil && x != nil {
+			if pObj, pSol, ok := opts.Polish(x); ok {
+				if pScore := dir * pObj; pScore > incumbent {
+					incumbent = pScore
+					incumbentX = append([]float64(nil), pSol...)
+					res.Trace = append(res.Trace, TracePoint{
+						Elapsed: time.Since(start), Objective: pObj, Nodes: res.Nodes,
+					})
+					logf("bnb: node %d polished incumbent %.6g", res.Nodes, pObj)
+					if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
+						infeasibleProven = false
+						bestBound = math.Max(bestBound, incumbent)
+						return finish(StatusFeasible), nil
+					}
+					if score <= incumbent+boundTol {
+						continue
+					}
+				}
+			}
+		}
+
+		branchVar, branchPair := pickBranch(m, x, nd.overrides)
+		if branchVar == -1 && branchPair == -1 && x == nil {
+			// An unbounded node with every side constraint resolved means
+			// the mixed problem itself is unbounded.
+			return finish(StatusUnbounded), nil
+		}
+		if branchVar == -1 && branchPair == -1 && x != nil {
+			// Integral and complementary: new incumbent.
+			if score > incumbent {
+				incumbent = score
+				incumbentX = append([]float64(nil), x...)
+				res.Trace = append(res.Trace, TracePoint{
+					Elapsed: time.Since(start), Objective: dir * incumbent, Nodes: res.Nodes,
+				})
+				logf("bnb: node %d new incumbent %.6g (bound %.6g)", res.Nodes, dir*incumbent, dir*bestBound)
+				// Compare in score space so "at least as good" respects sense.
+				if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
+					infeasibleProven = false
+					bestBound = math.Max(bestBound, incumbent)
+					return finish(StatusFeasible), nil
+				}
+			}
+			continue
+		}
+
+		// Branch.
+		mk := func(v lp.VarID, lo, hi float64) *node {
+			ov := make(map[lp.VarID][2]float64, len(nd.overrides)+1)
+			for k, b := range nd.overrides {
+				ov[k] = b
+			}
+			ov[v] = [2]float64{lo, hi}
+			return &node{overrides: ov, bound: score, depth: nd.depth + 1}
+		}
+		if branchVar != -1 {
+			heap.Push(h, mk(branchVar, 0, 0))
+			heap.Push(h, mk(branchVar, 1, 1))
+		} else {
+			pr := m.pairs[branchPair]
+			heap.Push(h, mk(pr.U, 0, 0))
+			heap.Push(h, mk(pr.V, 0, 0))
+		}
+	}
+
+	if incumbentX == nil {
+		if infeasibleProven && h.Len() == 0 {
+			return finish(StatusInfeasible), nil
+		}
+		return finish(StatusNoIncumbent), nil
+	}
+	if h.Len() == 0 && infeasibleProven {
+		bestBound = incumbent
+		return finish(StatusOptimal), nil
+	}
+	return finish(StatusFeasible), nil
+}
+
+// pickBranch returns the most violated binary (by fractionality) or
+// complementarity pair (by min(u,v)); (-1,-1) when the point is feasible
+// for the full model. A nil x (unbounded node) branches on the first
+// entity not already fixed by the node's overrides, so progress is
+// guaranteed even without a relaxation point.
+func pickBranch(m *Model, x []float64, overrides map[lp.VarID][2]float64) (lp.VarID, int) {
+	if x == nil {
+		fixed := func(v lp.VarID) bool {
+			b, ok := overrides[v]
+			return ok && b[0] == b[1]
+		}
+		for _, v := range m.binaries {
+			if !fixed(v) {
+				return v, -1
+			}
+		}
+		for i, pr := range m.pairs {
+			if !fixed(pr.U) && !fixed(pr.V) {
+				return -1, i
+			}
+		}
+		return -1, -1
+	}
+	bestVar := lp.VarID(-1)
+	bestFrac := intTol
+	for _, v := range m.binaries {
+		f := math.Min(x[v], 1-x[v])
+		if f > bestFrac {
+			bestFrac = f
+			bestVar = v
+		}
+	}
+	bestPair := -1
+	bestViol := complTol
+	for i, pr := range m.pairs {
+		u, v := math.Max(x[pr.U], 0), math.Max(x[pr.V], 0)
+		if viol := math.Min(u, v); viol > bestViol {
+			bestViol = viol
+			bestPair = i
+		}
+	}
+	// Prefer whichever violation is larger; binaries win ties since they
+	// tend to reshape the relaxation more. (Branching all binaries strictly
+	// first was tried and measured worse: resolving the largest
+	// complementarity violations moves the relaxation's demand vector — and
+	// with it the polish candidates — much faster.)
+	if bestVar != -1 && bestFrac >= bestViol {
+		return bestVar, -1
+	}
+	if bestPair != -1 {
+		return -1, bestPair
+	}
+	return bestVar, -1
+}

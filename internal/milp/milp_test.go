@@ -1,0 +1,441 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/lp"
+)
+
+const eps = 1e-5
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b)) }
+
+func solve(t *testing.T, m *Model, opts Options) *Result {
+	t.Helper()
+	res, err := Solve(m, opts)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return res
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c  s.t. 3a + 4b + 2c <= 6, a,b,c binary.
+	// Best: a + c (weight 5, value 17); b + c (weight 6, value 20) wins.
+	p := lp.NewProblem("knapsack", lp.Maximize)
+	m := NewModel(p)
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	c := m.AddBinary("c")
+	p.SetObj(a, 10)
+	p.SetObj(b, 13)
+	p.SetObj(c, 7)
+	p.AddConstraint("w", lp.NewExpr().Add(a, 3).Add(b, 4).Add(c, 2), lp.LE, 6)
+	res := solve(t, m, Options{})
+	if res.Status != StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if !almost(res.Objective, 20) {
+		t.Fatalf("obj=%v, want 20", res.Objective)
+	}
+	if !almost(res.X[b], 1) || !almost(res.X[c], 1) || !almost(res.X[a], 0) {
+		t.Fatalf("x=%v, want b=c=1", res.X)
+	}
+}
+
+func TestKnapsackMinimize(t *testing.T) {
+	// Covering: min 4a + 3b s.t. a + b >= 1, binaries. Optimal b=1, cost 3.
+	p := lp.NewProblem("cover", lp.Minimize)
+	m := NewModel(p)
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	p.SetObj(a, 4)
+	p.SetObj(b, 3)
+	p.AddConstraint("cover", lp.NewExpr().Add(a, 1).Add(b, 1), lp.GE, 1)
+	res := solve(t, m, Options{})
+	if res.Status != StatusOptimal || !almost(res.Objective, 3) {
+		t.Fatalf("status=%v obj=%v, want optimal/3", res.Status, res.Objective)
+	}
+}
+
+func TestComplementarityForcesChoice(t *testing.T) {
+	// max u + v with u,v <= 4 and u*v = 0: optimum 4, not 8.
+	p := lp.NewProblem("compl", lp.Maximize)
+	m := NewModel(p)
+	u := p.AddVar("u", 0, 4)
+	v := p.AddVar("v", 0, 4)
+	p.SetObj(u, 1)
+	p.SetObj(v, 1)
+	m.AddComplementarity(u, v, "uv")
+	res := solve(t, m, Options{})
+	if res.Status != StatusOptimal || !almost(res.Objective, 4) {
+		t.Fatalf("status=%v obj=%v, want optimal/4", res.Status, res.Objective)
+	}
+	if math.Min(res.X[u], res.X[v]) > eps {
+		t.Fatalf("complementarity violated: u=%v v=%v", res.X[u], res.X[v])
+	}
+}
+
+func TestComplementarityChainsPreferBest(t *testing.T) {
+	// max 3u + 2v + 5w, pairs (u,v) and (v,w), all in [0,1].
+	// Feasible patterns: v=0 (u,w free): 8; u=w=0: 2. Optimum 8.
+	p := lp.NewProblem("chain", lp.Maximize)
+	m := NewModel(p)
+	u := p.AddVar("u", 0, 1)
+	v := p.AddVar("v", 0, 1)
+	w := p.AddVar("w", 0, 1)
+	p.SetObj(u, 3)
+	p.SetObj(v, 2)
+	p.SetObj(w, 5)
+	m.AddComplementarity(u, v, "uv")
+	m.AddComplementarity(v, w, "vw")
+	res := solve(t, m, Options{})
+	if res.Status != StatusOptimal || !almost(res.Objective, 8) {
+		t.Fatalf("status=%v obj=%v, want optimal/8", res.Status, res.Objective)
+	}
+}
+
+func TestComplementarityKKTStyle(t *testing.T) {
+	// Encode the KKT system of: max x s.t. x <= 5 (x >= 0).
+	// Stationarity: 1 - lambda + mu = 0 with mu the multiplier of -x <= 0...
+	// simplified: lambda = 1 forced; feasibility x <= 5; slack s = 5 - x;
+	// complementarity lambda*s = 0 forces x = 5.
+	p := lp.NewProblem("kkt", lp.Maximize)
+	m := NewModel(p)
+	x := p.AddVar("x", 0, lp.Inf)
+	s := p.AddVar("s", 0, lp.Inf)
+	lam := p.AddVar("lambda", 0, lp.Inf)
+	// No objective: pure feasibility. Solve as max 0.
+	p.AddConstraint("slack", lp.NewExpr().Add(x, 1).Add(s, 1), lp.EQ, 5)
+	p.AddConstraint("stationarity", lp.NewExpr().Add(lam, 1), lp.EQ, 1)
+	m.AddComplementarity(lam, s, "cs")
+	res := solve(t, m, Options{})
+	if res.Status != StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if !almost(res.X[x], 5) {
+		t.Fatalf("x=%v, want 5 (forced by complementary slackness)", res.X[x])
+	}
+}
+
+func TestInfeasibleBinaries(t *testing.T) {
+	p := lp.NewProblem("infeas", lp.Maximize)
+	m := NewModel(p)
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	p.AddConstraint("sum", lp.NewExpr().Add(a, 1).Add(b, 1), lp.EQ, 1)
+	p.AddConstraint("both", lp.NewExpr().Add(a, 1).Add(b, 1), lp.GE, 1.5)
+	res := solve(t, m, Options{})
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status=%v, want infeasible", res.Status)
+	}
+}
+
+func TestIndicatorLE(t *testing.T) {
+	// y=1 implies x <= 2; maximize x + 3y with x <= 10.
+	// Choosing y=1 gives 2+3=5, y=0 gives 10. Optimum 10 with y=0.
+	p := lp.NewProblem("ind", lp.Maximize)
+	m := NewModel(p)
+	x := p.AddVar("x", 0, 10)
+	y := m.AddBinary("y")
+	p.SetObj(x, 1)
+	p.SetObj(y, 3)
+	m.AddIndicatorLE("x-small-if-y", y, lp.NewExpr().Add(x, 1), 2, 100)
+	res := solve(t, m, Options{})
+	if res.Status != StatusOptimal || !almost(res.Objective, 10) {
+		t.Fatalf("status=%v obj=%v, want optimal/10", res.Status, res.Objective)
+	}
+	// Flip the economics: maximize x + 9y now prefers y=1, x=2 => 11.
+	p.SetObj(y, 9)
+	res = solve(t, m, Options{})
+	if !almost(res.Objective, 11) {
+		t.Fatalf("obj=%v, want 11", res.Objective)
+	}
+	if !almost(res.X[y], 1) || res.X[x] > 2+eps {
+		t.Fatalf("indicator not enforced: x=%v y=%v", res.X[x], res.X[y])
+	}
+}
+
+func TestIndicatorGE(t *testing.T) {
+	// y=1 implies x >= 8; minimize x + y*0 with incentive to set y.
+	p := lp.NewProblem("indge", lp.Minimize)
+	m := NewModel(p)
+	x := p.AddVar("x", 0, 10)
+	y := m.AddBinary("y")
+	p.SetObj(x, 1)
+	p.SetObj(y, -5) // reward choosing y=1
+	m.AddIndicatorGE("x-big-if-y", y, lp.NewExpr().Add(x, 1), 8, 100)
+	res := solve(t, m, Options{})
+	if res.Status != StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	// y=1 costs x=8-5= net 3; y=0 costs 0. Optimum: y=0, x=0.
+	if !almost(res.Objective, 0) {
+		t.Fatalf("obj=%v, want 0", res.Objective)
+	}
+}
+
+func TestTargetModeStopsEarly(t *testing.T) {
+	p := lp.NewProblem("target", lp.Maximize)
+	m := NewModel(p)
+	var vars []lp.VarID
+	for i := 0; i < 10; i++ {
+		v := m.AddBinary("b")
+		p.SetObj(v, 1)
+		vars = append(vars, v)
+	}
+	// Each pair conflicts mildly so the relaxation is fractional.
+	for i := 0; i+1 < len(vars); i += 2 {
+		p.AddConstraint("pair", lp.NewExpr().Add(vars[i], 1).Add(vars[i+1], 1), lp.LE, 1)
+	}
+	target := 3.0
+	res := solve(t, m, Options{Target: &target})
+	if res.Status != StatusFeasible && res.Status != StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if res.Objective < target-eps {
+		t.Fatalf("obj=%v below target %v", res.Objective, target)
+	}
+}
+
+func TestTargetModeMinimize(t *testing.T) {
+	p := lp.NewProblem("target-min", lp.Minimize)
+	m := NewModel(p)
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	p.SetObj(a, 2)
+	p.SetObj(b, 5)
+	p.AddConstraint("cover", lp.NewExpr().Add(a, 1).Add(b, 1), lp.GE, 1)
+	target := 5.5 // any incumbent <= 5.5 qualifies
+	res := solve(t, m, Options{Target: &target})
+	if res.Objective > target+eps {
+		t.Fatalf("obj=%v above (worse than) min target %v", res.Objective, target)
+	}
+}
+
+func TestNodeAndTimeLimits(t *testing.T) {
+	p := lp.NewProblem("limit", lp.Maximize)
+	m := NewModel(p)
+	rng := rand.New(rand.NewSource(7))
+	var vars []lp.VarID
+	for i := 0; i < 24; i++ {
+		v := m.AddBinary("b")
+		p.SetObj(v, 1+rng.Float64())
+		vars = append(vars, v)
+	}
+	e := lp.NewExpr()
+	for _, v := range vars {
+		e = e.Add(v, 1+rng.Float64()*3)
+	}
+	p.AddConstraint("w", e, lp.LE, 20)
+	res := solve(t, m, Options{MaxNodes: 5})
+	if res.Nodes > 6 {
+		t.Fatalf("nodes=%d exceeded limit", res.Nodes)
+	}
+	res2 := solve(t, m, Options{TimeLimit: time.Millisecond})
+	if res2.Elapsed > 500*time.Millisecond {
+		t.Fatalf("time limit ignored: %v", res2.Elapsed)
+	}
+}
+
+func TestBoundIsValid(t *testing.T) {
+	// Stop early; the reported bound must dominate the true optimum.
+	p := lp.NewProblem("bound", lp.Maximize)
+	m := NewModel(p)
+	var vars []lp.VarID
+	for i := 0; i < 12; i++ {
+		v := m.AddBinary("b")
+		p.SetObj(v, float64(1+i%3))
+		vars = append(vars, v)
+	}
+	e := lp.NewExpr()
+	for _, v := range vars {
+		e = e.Add(v, 2)
+	}
+	p.AddConstraint("w", e, lp.LE, 7)
+	full := solve(t, m, Options{})
+	if full.Status != StatusOptimal {
+		t.Fatalf("status=%v", full.Status)
+	}
+	early := solve(t, m, Options{MaxNodes: 2})
+	if early.Bound < full.Objective-eps {
+		t.Fatalf("early bound %v < true optimum %v", early.Bound, full.Objective)
+	}
+}
+
+func TestDepthFirstFindsSameOptimum(t *testing.T) {
+	p := lp.NewProblem("dfs", lp.Maximize)
+	m := NewModel(p)
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	c := m.AddBinary("c")
+	p.SetObj(a, 5)
+	p.SetObj(b, 4)
+	p.SetObj(c, 3)
+	p.AddConstraint("w", lp.NewExpr().Add(a, 4).Add(b, 3).Add(c, 2), lp.LE, 6)
+	best := solve(t, m, Options{})
+	dfs := solve(t, m, Options{DepthFirst: true})
+	if !almost(best.Objective, dfs.Objective) {
+		t.Fatalf("best-first %v != depth-first %v", best.Objective, dfs.Objective)
+	}
+}
+
+func TestComplementarityPanicsOnPositiveLowerBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lo > 0")
+		}
+	}()
+	p := lp.NewProblem("bad", lp.Maximize)
+	m := NewModel(p)
+	u := p.AddVar("u", 1, 2)
+	v := p.AddVar("v", 0, 2)
+	m.AddComplementarity(u, v, "uv")
+}
+
+func TestMarkBinaryTightensBounds(t *testing.T) {
+	p := lp.NewProblem("mark", lp.Maximize)
+	m := NewModel(p)
+	v := p.AddVar("wide", -1, 3)
+	m.MarkBinary(v)
+	lo, hi := p.Bounds(v)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("bounds [%v,%v], want [0,1]", lo, hi)
+	}
+	if m.NumBinaries() != 1 {
+		t.Fatalf("binaries=%d", m.NumBinaries())
+	}
+}
+
+func TestResultGap(t *testing.T) {
+	r := &Result{Objective: 3, Bound: 5}
+	if !almost(r.Gap(), 2) {
+		t.Fatalf("gap=%v", r.Gap())
+	}
+	r2 := &Result{Objective: 5, Bound: 3}
+	if !almost(r2.Gap(), 2) {
+		t.Fatalf("gap=%v", r2.Gap())
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{StatusOptimal, StatusFeasible, StatusInfeasible, StatusNoIncumbent, StatusUnbounded} {
+		if s.String() == "" {
+			t.Fatal("empty status string")
+		}
+	}
+}
+
+// TestQuickKnapsackMatchesBruteForce cross-checks branch and bound against
+// exhaustive enumeration on random small knapsacks.
+func TestQuickKnapsackMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = 1 + rng.Float64()*9
+			weights[i] = 1 + rng.Float64()*5
+		}
+		capW := 2 + rng.Float64()*float64(n)
+
+		p := lp.NewProblem("qk", lp.Maximize)
+		m := NewModel(p)
+		vars := make([]lp.VarID, n)
+		e := lp.NewExpr()
+		for i := range vars {
+			vars[i] = m.AddBinary("b")
+			p.SetObj(vars[i], values[i])
+			e = e.Add(vars[i], weights[i])
+		}
+		p.AddConstraint("w", e, lp.LE, capW)
+		res, err := Solve(m, Options{})
+		if err != nil || res.Status != StatusOptimal {
+			t.Logf("seed %d: err=%v status=%v", seed, err, res.Status)
+			return false
+		}
+
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+					v += values[i]
+				}
+			}
+			if w <= capW && v > best {
+				best = v
+			}
+		}
+		if !almost(res.Objective, best) {
+			t.Logf("seed %d: bnb=%v brute=%v", seed, res.Objective, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickComplementarityMatchesBruteForce compares against enumerating all
+// 2^k "which side is zero" patterns on random instances.
+func TestQuickComplementarityMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0xc0))
+		n := 2 + rng.Intn(4) // pairs
+		p := lp.NewProblem("qc", lp.Maximize)
+		m := NewModel(p)
+		us := make([]lp.VarID, n)
+		vs := make([]lp.VarID, n)
+		for i := 0; i < n; i++ {
+			us[i] = p.AddVar("u", 0, 1+rng.Float64()*3)
+			vs[i] = p.AddVar("v", 0, 1+rng.Float64()*3)
+			p.SetObj(us[i], rng.Float64()*5)
+			p.SetObj(vs[i], rng.Float64()*5)
+			m.AddComplementarity(us[i], vs[i], "pair")
+		}
+		// A coupling constraint so the problem isn't separable.
+		e := lp.NewExpr()
+		for i := 0; i < n; i++ {
+			e = e.Add(us[i], 1).Add(vs[i], 1)
+		}
+		budget := 1 + rng.Float64()*float64(n)
+		p.AddConstraint("budget", e, lp.LE, budget)
+
+		res, err := Solve(m, Options{})
+		if err != nil || res.Status != StatusOptimal {
+			return false
+		}
+
+		best := math.Inf(-1)
+		for mask := 0; mask < 1<<n; mask++ {
+			ov := map[lp.VarID][2]float64{}
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					ov[us[i]] = [2]float64{0, 0}
+				} else {
+					ov[vs[i]] = [2]float64{0, 0}
+				}
+			}
+			sol, err := p.SolveWith(lp.SolveOptions{BoundOverride: ov})
+			if err == nil && sol.Status == lp.StatusOptimal && sol.Objective > best {
+				best = sol.Objective
+			}
+		}
+		if !almost(res.Objective, best) {
+			t.Logf("seed %d: bnb=%v brute=%v", seed, res.Objective, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package sortnet provides sorting networks and their MILP encodings.
+//
+// The paper (Section 3.2) proposes using multiple random POP instantiations
+// "and a sorting network to bubble up the worst outcomes" so the gap finder
+// can target a tail percentile of the randomized heuristic's value. A
+// sorting network is the right tool because its comparators are oblivious:
+// each max/min gate becomes a fixed MILP gadget regardless of the data.
+//
+// The network used is odd-even transposition (brick) sort: n rounds of
+// neighbor comparators, n(n-1)/2 comparators total — quadratic, but the
+// instantiation counts here are tiny (the paper uses 5).
+package sortnet
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/milp"
+)
+
+// Comparator orders the wire pair (Lo, Hi): after the gate, wire Lo carries
+// the smaller value and wire Hi the larger.
+type Comparator struct {
+	Lo, Hi int
+}
+
+// Network returns the odd-even transposition sorting network for n wires.
+// Applying the comparators in order sorts any input ascending.
+func Network(n int) []Comparator {
+	var cs []Comparator
+	for round := 0; round < n; round++ {
+		for i := round % 2; i+1 < n; i += 2 {
+			cs = append(cs, Comparator{Lo: i, Hi: i + 1})
+		}
+	}
+	return cs
+}
+
+// Sort applies the network to a copy of xs and returns it sorted ascending.
+// It exists to test the network and to evaluate percentiles outside MILP.
+func Sort(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	for _, c := range Network(len(out)) {
+		if out[c.Lo] > out[c.Hi] {
+			out[c.Lo], out[c.Hi] = out[c.Hi], out[c.Lo]
+		}
+	}
+	return out
+}
+
+// PercentileIndex maps a percentile p in [0,1] to a sorted index for n
+// values: 0 is the minimum (the heuristic's worst outcome), 1 the maximum.
+func PercentileIndex(p float64, n int) int {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	i := int(p*float64(n-1) + 0.5)
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Emit instantiates the network inside a MILP model. inputs are expressions
+// over existing variables (each gets its own wire); bigM must bound every
+// input's absolute value. The returned variables carry the sorted values in
+// ascending order. Each comparator costs one binary, two fresh variables
+// and five rows.
+func Emit(m *milp.Model, name string, inputs []lp.Expr, bigM float64) []lp.VarID {
+	p := m.P
+	n := len(inputs)
+	// Wire variables initialized to the inputs.
+	wires := make([]lp.VarID, n)
+	for i, in := range inputs {
+		w := p.AddVar(fmt.Sprintf("%s.w%d", name, i), -lp.Inf, lp.Inf)
+		e := lp.NewExpr().Add(w, 1).AddExpr(in, -1)
+		p.AddConstraint(fmt.Sprintf("%s.in%d", name, i), e, lp.EQ, 0)
+		wires[i] = w
+	}
+	for ci, c := range Network(n) {
+		a, b := wires[c.Lo], wires[c.Hi]
+		hi := p.AddVar(fmt.Sprintf("%s.hi%d", name, ci), -lp.Inf, lp.Inf)
+		lo := p.AddVar(fmt.Sprintf("%s.lo%d", name, ci), -lp.Inf, lp.Inf)
+		t := m.AddBinary(fmt.Sprintf("%s.t%d", name, ci))
+		// hi >= both.
+		p.AddConstraint(fmt.Sprintf("%s.c%d.ha", name, ci),
+			lp.NewExpr().Add(hi, 1).Add(a, -1), lp.GE, 0)
+		p.AddConstraint(fmt.Sprintf("%s.c%d.hb", name, ci),
+			lp.NewExpr().Add(hi, 1).Add(b, -1), lp.GE, 0)
+		// hi <= a + 2M*t, hi <= b + 2M*(1-t): hi equals one of them.
+		p.AddConstraint(fmt.Sprintf("%s.c%d.ua", name, ci),
+			lp.NewExpr().Add(hi, 1).Add(a, -1).Add(t, -2*bigM), lp.LE, 0)
+		p.AddConstraint(fmt.Sprintf("%s.c%d.ub", name, ci),
+			lp.NewExpr().Add(hi, 1).Add(b, -1).Add(t, 2*bigM), lp.LE, 2*bigM)
+		// lo = a + b - hi.
+		p.AddConstraint(fmt.Sprintf("%s.c%d.lo", name, ci),
+			lp.NewExpr().Add(lo, 1).Add(a, -1).Add(b, -1).Add(hi, 1), lp.EQ, 0)
+		wires[c.Lo], wires[c.Hi] = lo, hi
+	}
+	return wires
+}

@@ -1,0 +1,144 @@
+package sortnet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+	"repro/internal/milp"
+)
+
+func TestNetworkSortsAllPermutations(t *testing.T) {
+	// A network sorts all inputs iff it sorts all 0/1 inputs
+	// (the 0-1 principle); test exhaustively up to n = 8.
+	for n := 1; n <= 8; n++ {
+		for mask := 0; mask < 1<<n; mask++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				if mask&(1<<i) != 0 {
+					xs[i] = 1
+				}
+			}
+			out := Sort(xs)
+			for i := 1; i < n; i++ {
+				if out[i-1] > out[i] {
+					t.Fatalf("n=%d mask=%b: not sorted: %v", n, mask, out)
+				}
+			}
+		}
+	}
+}
+
+func TestSortDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Sort(xs)
+	if xs[0] != 3 {
+		t.Fatal("Sort mutated its input")
+	}
+}
+
+func TestPercentileIndex(t *testing.T) {
+	cases := []struct {
+		p    float64
+		n, i int
+	}{
+		{0, 5, 0}, {1, 5, 4}, {0.5, 5, 2}, {-1, 5, 0}, {2, 5, 4}, {0.5, 2, 1},
+	}
+	for _, c := range cases {
+		if got := PercentileIndex(c.p, c.n); got != c.i {
+			t.Fatalf("PercentileIndex(%v,%d)=%d, want %d", c.p, c.n, got, c.i)
+		}
+	}
+}
+
+func TestEmitSortsFixedValues(t *testing.T) {
+	p := lp.NewProblem("sort", lp.Maximize)
+	m := milp.NewModel(p)
+	vals := []float64{7, 2, 9, 4}
+	var inputs []lp.Expr
+	for _, v := range vals {
+		x := p.AddVar("x", v, v)
+		inputs = append(inputs, lp.NewExpr().Add(x, 1))
+	}
+	outs := Emit(m, "net", inputs, 20)
+	res, err := milp.Solve(m, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	want := append([]float64(nil), vals...)
+	sort.Float64s(want)
+	for i, o := range outs {
+		if math.Abs(res.X[o]-want[i]) > 1e-5 {
+			t.Fatalf("output %d = %v, want %v", i, res.X[o], want[i])
+		}
+	}
+}
+
+func TestEmitMinIsAdversarialProof(t *testing.T) {
+	// The gap finder maximizes OPT - sorted[0] (the worst outcome). Check
+	// the encoding cannot cheat: maximize -min(x1,x2) with x1=3, x2=5 fixed
+	// must yield -3, not something larger.
+	p := lp.NewProblem("min", lp.Maximize)
+	m := milp.NewModel(p)
+	x1 := p.AddVar("x1", 3, 3)
+	x2 := p.AddVar("x2", 5, 5)
+	outs := Emit(m, "net", []lp.Expr{lp.NewExpr().Add(x1, 1), lp.NewExpr().Add(x2, 1)}, 10)
+	p.SetObj(outs[0], -1)
+	res, err := milp.Solve(m, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-(-3)) > 1e-5 {
+		t.Fatalf("obj=%v, want -3 (min must be exactly 3)", res.Objective)
+	}
+	// And the other direction: maximize +sorted[0] must also give 3 — the
+	// binary forces hi to equal one input, so min cannot float up to 5.
+	p.SetObj(outs[0], 1)
+	res, err = milp.Solve(m, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-3) > 1e-5 {
+		t.Fatalf("obj=%v, want 3", res.Objective)
+	}
+}
+
+func TestQuickEmitMatchesSort(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round(rng.Float64()*20 - 5)
+		}
+		p := lp.NewProblem("q", lp.Maximize)
+		m := milp.NewModel(p)
+		var inputs []lp.Expr
+		for _, v := range vals {
+			x := p.AddVar("x", v, v)
+			inputs = append(inputs, lp.NewExpr().Add(x, 1))
+		}
+		outs := Emit(m, "net", inputs, 30)
+		res, err := milp.Solve(m, milp.Options{})
+		if err != nil || res.Status != milp.StatusOptimal {
+			return false
+		}
+		want := Sort(vals)
+		for i, o := range outs {
+			if math.Abs(res.X[o]-want[i]) > 1e-5 {
+				t.Logf("seed %d: out[%d]=%v want %v (vals %v)", seed, i, res.X[o], want[i], vals)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DefaultCapacity is the per-link capacity used by the built-in WAN
+// topologies. The paper quotes thresholds and variances as percentages of
+// link capacity, so only the ratio matters; 100 keeps numbers readable.
+const DefaultCapacity = 100.0
+
+// Figure1 returns the 3-node example of the paper's Figure 1, reconstructed
+// so that Demand Pinning with threshold 50 loses exactly 100 units of flow
+// (over 38% — here 40% of OPT):
+//
+//	links: 1->2 (cap 100, weight 1), 2->3 (cap 100, weight 1),
+//	       1->3 (cap 50, weight 3 — a long direct link).
+//
+// With demands 1->2: 100, 2->3: 100, 1->3: 50, the weight-shortest path for
+// 1->3 is 1->2->3 (weight 2 < 3), so DP pins 50 units across both middle
+// links and carries 150 total, while OPT uses the direct link and carries
+// 250. Nodes are 0-indexed: paper node 1 is node 0, and so on.
+func Figure1() *Graph {
+	g := New("figure1", 3)
+	g.AddEdgeW(0, 1, 100, 1)
+	g.AddEdgeW(1, 2, 100, 1)
+	g.AddEdgeW(0, 2, 50, 3)
+	return g
+}
+
+// B4 returns Google's B4 inter-datacenter WAN: 12 sites, 19 bidirectional
+// links (38 directed edges), as transcribed in public TE research
+// repositories from the B4 paper's figure. All links get DefaultCapacity.
+func B4() *Graph {
+	g := New("b4", 12)
+	links := [][2]Node{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3},
+		{3, 4}, {3, 5}, {4, 5}, {4, 6}, {5, 7},
+		{6, 7}, {6, 8}, {7, 9}, {8, 9}, {8, 10},
+		{9, 11}, {10, 11}, {2, 6}, {5, 9},
+	}
+	for _, l := range links {
+		g.AddBiEdge(l[0], l[1], DefaultCapacity)
+	}
+	return g
+}
+
+// Abilene returns the Internet2 Abilene research backbone: 11 PoPs and 14
+// bidirectional links (28 directed edges). Node order: 0 Seattle,
+// 1 Sunnyvale, 2 Los Angeles, 3 Denver, 4 Kansas City, 5 Houston,
+// 6 Chicago, 7 Indianapolis, 8 Atlanta, 9 Washington DC, 10 New York.
+func Abilene() *Graph {
+	g := New("abilene", 11)
+	links := [][2]Node{
+		{0, 1},  // Seattle - Sunnyvale
+		{0, 3},  // Seattle - Denver
+		{1, 2},  // Sunnyvale - Los Angeles
+		{1, 3},  // Sunnyvale - Denver
+		{2, 5},  // Los Angeles - Houston
+		{3, 4},  // Denver - Kansas City
+		{4, 5},  // Kansas City - Houston
+		{4, 7},  // Kansas City - Indianapolis
+		{5, 8},  // Houston - Atlanta
+		{6, 7},  // Chicago - Indianapolis
+		{6, 10}, // Chicago - New York
+		{7, 8},  // Indianapolis - Atlanta
+		{8, 9},  // Atlanta - Washington DC
+		{9, 10}, // Washington DC - New York
+	}
+	for _, l := range links {
+		g.AddBiEdge(l[0], l[1], DefaultCapacity)
+	}
+	return g
+}
+
+// SWAN returns a SWAN-like inter-datacenter WAN. Microsoft's SWAN topology
+// is not public at link level; following the paper's remark that all three
+// evaluation topologies have "roughly the same number of nodes and edges",
+// this is a 10-node, 17-link WAN with comparable density and diameter.
+func SWAN() *Graph {
+	g := New("swan", 10)
+	links := [][2]Node{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4},
+		{3, 4}, {3, 5}, {4, 6}, {5, 6}, {5, 7},
+		{6, 8}, {7, 8}, {7, 9}, {8, 9}, {0, 3},
+		{2, 6}, {4, 8},
+	}
+	for _, l := range links {
+		g.AddBiEdge(l[0], l[1], DefaultCapacity)
+	}
+	return g
+}
+
+// Circle returns the synthetic family of Figure 4b: n nodes on a circle
+// where each node connects (bidirectionally) to its m nearest neighbours on
+// each side. Larger n/m ratios yield longer average shortest paths.
+func Circle(n, m int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("topology: circle needs >= 3 nodes, got %d", n))
+	}
+	if m < 1 || 2*m >= n {
+		panic(fmt.Sprintf("topology: circle(%d) neighbour count %d out of range", n, m))
+	}
+	g := New(fmt.Sprintf("circle-%d-%d", n, m), n)
+	for i := 0; i < n; i++ {
+		for k := 1; k <= m; k++ {
+			j := (i + k) % n
+			g.AddBiEdge(Node(i), Node(j), DefaultCapacity)
+		}
+	}
+	return g
+}
+
+// Line returns a path graph with n nodes and n-1 bidirectional links.
+func Line(n int) *Graph {
+	g := New(fmt.Sprintf("line-%d", n), n)
+	for i := 0; i+1 < n; i++ {
+		g.AddBiEdge(Node(i), Node(i+1), DefaultCapacity)
+	}
+	return g
+}
+
+// Star returns a star with node 0 at the hub and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(fmt.Sprintf("star-%d", n), n)
+	for i := 1; i < n; i++ {
+		g.AddBiEdge(0, Node(i), DefaultCapacity)
+	}
+	return g
+}
+
+// Grid returns an r x c grid with bidirectional links between
+// 4-neighbours. Node (i,j) is index i*c+j.
+func Grid(r, c int) *Graph {
+	g := New(fmt.Sprintf("grid-%dx%d", r, c), r*c)
+	idx := func(i, j int) Node { return Node(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddBiEdge(idx(i, j), idx(i, j+1), DefaultCapacity)
+			}
+			if i+1 < r {
+				g.AddBiEdge(idx(i, j), idx(i+1, j), DefaultCapacity)
+			}
+		}
+	}
+	return g
+}
+
+// Waxman generates a random WAN with the classic Waxman model: n nodes
+// placed uniformly in the unit square, a bidirectional link between each
+// pair with probability alpha*exp(-dist/(beta*L)) where L is the maximum
+// pairwise distance. A random spanning tree is added first so the result is
+// always connected. Typical parameters: alpha 0.4, beta 0.4.
+func Waxman(n int, alpha, beta float64, rng *rand.Rand) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: waxman needs >= 2 nodes, got %d", n))
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 {
+		panic(fmt.Sprintf("topology: waxman parameters alpha=%g beta=%g out of range", alpha, beta))
+	}
+	g := New(fmt.Sprintf("waxman-%d", n), n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(a, b int) float64 {
+		return math.Hypot(xs[a]-xs[b], ys[a]-ys[b])
+	}
+	maxDist := 0.0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if d := dist(a, b); d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1
+	}
+	linked := make(map[[2]int]bool)
+	addLink := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if linked[[2]int{a, b}] {
+			return
+		}
+		linked[[2]int{a, b}] = true
+		g.AddBiEdge(Node(a), Node(b), DefaultCapacity)
+	}
+	// Random spanning tree: attach each node to a random earlier node.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		addLink(perm[i], perm[rng.Intn(i)])
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < alpha*math.Exp(-dist(a, b)/(beta*maxDist)) {
+				addLink(a, b)
+			}
+		}
+	}
+	return g
+}
+
+// ByName returns a built-in topology by name, for CLI use. Supported names:
+// figure1, b4, abilene, swan, circle-N-M (e.g. "circle-8-1"), and
+// waxman-N-SEED (a seeded random WAN, e.g. "waxman-15-3").
+func ByName(name string) (*Graph, error) {
+	switch name {
+	case "figure1":
+		return Figure1(), nil
+	case "b4":
+		return B4(), nil
+	case "abilene":
+		return Abilene(), nil
+	case "swan":
+		return SWAN(), nil
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(name, "circle-%d-%d", &n, &m); err == nil {
+		// Validate here rather than panicking in Circle: this path is fed
+		// raw CLI input.
+		if n < 3 || m < 1 || 2*m >= n {
+			return nil, fmt.Errorf("topology: circle-%d-%d out of range (need n >= 3, 1 <= m < n/2)", n, m)
+		}
+		return Circle(n, m), nil
+	}
+	var seed int64
+	if _, err := fmt.Sscanf(name, "waxman-%d-%d", &n, &seed); err == nil {
+		if n < 2 || n > 200 {
+			return nil, fmt.Errorf("topology: waxman-%d out of range (need 2 <= n <= 200)", n)
+		}
+		return Waxman(n, 0.4, 0.4, rand.New(rand.NewSource(seed))), nil
+	}
+	return nil, fmt.Errorf("topology: unknown topology %q", name)
+}

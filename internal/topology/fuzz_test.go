@@ -1,0 +1,66 @@
+package topology
+
+import "testing"
+
+// FuzzByName: arbitrary topology names must either resolve or fail cleanly,
+// never panic (the CLI feeds user input straight into it).
+func FuzzByName(f *testing.F) {
+	for _, seed := range []string{"b4", "abilene", "swan", "figure1",
+		"circle-8-1", "circle-3-1", "circle-0-0", "circle--1--1",
+		"circle-999999999999999999999-1", "circle-4-3", "", "CIRCLE-8-1",
+		"waxman-12-5", "waxman-1-1", "waxman-9999-1", "waxman--3-0"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		g, err := ByName(name)
+		if err == nil && g == nil {
+			t.Fatalf("ByName(%q): nil graph without error", name)
+		}
+		if g != nil {
+			if g.NumNodes() <= 0 {
+				t.Fatalf("ByName(%q): empty graph", name)
+			}
+			_ = g.TotalCapacity()
+		}
+	})
+}
+
+// FuzzKShortestPaths: random small graphs driven by fuzz bytes; paths must
+// be loopless, connect the endpoints, and be sorted by weight.
+func FuzzKShortestPaths(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(3))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x42}, uint8(5))
+	f.Fuzz(func(t *testing.T, edges []byte, kRaw uint8) {
+		const n = 5
+		g := New("fuzz", n)
+		for i := 0; i+1 < len(edges) && i < 40; i += 2 {
+			from := Node(int(edges[i]) % n)
+			to := Node(int(edges[i+1]) % n)
+			if from == to {
+				continue
+			}
+			g.AddEdgeW(from, to, 1, 1+float64(edges[i]%7))
+		}
+		k := 1 + int(kRaw%6)
+		paths := g.KShortestPaths(0, n-1, k)
+		if len(paths) > k {
+			t.Fatalf("returned %d > k=%d paths", len(paths), k)
+		}
+		for i, p := range paths {
+			nodes := p.Nodes(g)
+			if len(nodes) == 0 || nodes[0] != 0 || nodes[len(nodes)-1] != n-1 {
+				t.Fatalf("path %d endpoints wrong: %v", i, nodes)
+			}
+			seen := map[Node]bool{}
+			for _, nd := range nodes {
+				if seen[nd] {
+					t.Fatalf("path %d has a loop: %v", i, nodes)
+				}
+				seen[nd] = true
+			}
+			if i > 0 && p.Weight(g) < paths[i-1].Weight(g)-1e-9 {
+				t.Fatalf("paths out of order")
+			}
+		}
+	})
+}

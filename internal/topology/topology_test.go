@@ -1,0 +1,413 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New("t", 3)
+	id := g.AddEdge(0, 1, 10)
+	if id != 0 || g.NumEdges() != 1 || g.NumNodes() != 3 {
+		t.Fatalf("unexpected graph shape")
+	}
+	e := g.Edge(id)
+	if e.From != 0 || e.To != 1 || e.Capacity != 10 || e.Weight != 1 {
+		t.Fatalf("edge %+v", e)
+	}
+	a, b := g.AddBiEdge(1, 2, 5)
+	if g.Edge(a).From != 1 || g.Edge(b).From != 2 {
+		t.Fatalf("biedge wrong direction")
+	}
+	if got := g.TotalCapacity(); got != 20 {
+		t.Fatalf("total capacity %v, want 20", got)
+	}
+	if got := g.MinCapacity(); got != 5 {
+		t.Fatalf("min capacity %v, want 5", got)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New("t", 2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(0, 5, 1) },
+		func() { g.AddEdge(-1, 0, 1) },
+		func() { g.AddEdge(1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g := Line(5)
+	p, ok := g.ShortestPath(0, 4)
+	if !ok || p.Hops() != 4 {
+		t.Fatalf("ok=%v hops=%d", ok, p.Hops())
+	}
+	nodes := p.Nodes(g)
+	want := []Node{0, 1, 2, 3, 4}
+	for i, n := range want {
+		if nodes[i] != n {
+			t.Fatalf("nodes=%v", nodes)
+		}
+	}
+}
+
+func TestShortestPathRespectsWeights(t *testing.T) {
+	// Figure 1: weight-shortest path 0->2 goes through node 1, not the
+	// direct (weight-3) link.
+	g := Figure1()
+	p, ok := g.ShortestPath(0, 2)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if p.Hops() != 2 {
+		t.Fatalf("hops=%d, want 2 (via node 1)", p.Hops())
+	}
+	if p.Weight(g) != 2 {
+		t.Fatalf("weight=%v, want 2", p.Weight(g))
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := New("disc", 3)
+	g.AddEdge(0, 1, 1)
+	if _, ok := g.ShortestPath(0, 2); ok {
+		t.Fatal("expected unreachable")
+	}
+	if _, ok := g.ShortestPath(2, 0); ok {
+		t.Fatal("expected unreachable (directed)")
+	}
+}
+
+func TestKShortestPathsFigure1(t *testing.T) {
+	g := Figure1()
+	paths := g.KShortestPaths(0, 2, 3)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	if paths[0].Weight(g) != 2 || paths[1].Weight(g) != 3 {
+		t.Fatalf("weights %v, %v", paths[0].Weight(g), paths[1].Weight(g))
+	}
+	if paths[0].Equal(paths[1]) {
+		t.Fatal("duplicate paths")
+	}
+}
+
+func TestKShortestPathsOrderedAndLoopless(t *testing.T) {
+	g := Grid(3, 3)
+	paths := g.KShortestPaths(0, 8, 6)
+	if len(paths) < 2 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Weight(g) < paths[i-1].Weight(g) {
+			t.Fatalf("paths out of order at %d", i)
+		}
+	}
+	for _, p := range paths {
+		seen := map[Node]bool{}
+		for _, n := range p.Nodes(g) {
+			if seen[n] {
+				t.Fatalf("loop in path %v", p)
+			}
+			seen[n] = true
+		}
+		// Path connects the endpoints.
+		nodes := p.Nodes(g)
+		if nodes[0] != 0 || nodes[len(nodes)-1] != 8 {
+			t.Fatalf("path endpoints %v", nodes)
+		}
+	}
+	// All distinct.
+	for i := range paths {
+		for j := i + 1; j < len(paths); j++ {
+			if paths[i].Equal(paths[j]) {
+				t.Fatalf("duplicate paths %d, %d", i, j)
+			}
+		}
+	}
+}
+
+func TestKShortestExhaustsSmallGraph(t *testing.T) {
+	g := Line(3)
+	paths := g.KShortestPaths(0, 2, 10)
+	if len(paths) != 1 {
+		t.Fatalf("line has exactly 1 loopless path, got %d", len(paths))
+	}
+	if g.KShortestPaths(0, 0, 3) != nil {
+		t.Fatal("s==t must return nil")
+	}
+	if g.KShortestPaths(0, 2, 0) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	g := Line(4)
+	p, _ := g.ShortestPath(0, 3)
+	if !p.Contains(p.Edges[0]) {
+		t.Fatal("Contains broken")
+	}
+	if p.Contains(999) {
+		t.Fatal("Contains false positive")
+	}
+	if p.String() == "" {
+		t.Fatal("empty String")
+	}
+	var empty Path
+	if empty.Nodes(g) != nil {
+		t.Fatal("empty path nodes")
+	}
+}
+
+func TestBuiltinShapes(t *testing.T) {
+	cases := []struct {
+		g        *Graph
+		nodes    int
+		dirEdges int
+	}{
+		{Figure1(), 3, 3},
+		{B4(), 12, 38},
+		{Abilene(), 11, 28},
+		{SWAN(), 10, 34},
+		{Circle(8, 1), 8, 16},
+		{Circle(8, 2), 8, 32},
+		{Line(5), 5, 8},
+		{Star(5), 5, 8},
+		{Grid(2, 3), 6, 14},
+	}
+	for _, c := range cases {
+		if c.g.NumNodes() != c.nodes || c.g.NumEdges() != c.dirEdges {
+			t.Errorf("%s: nodes=%d edges=%d, want %d/%d",
+				c.g.Name(), c.g.NumNodes(), c.g.NumEdges(), c.nodes, c.dirEdges)
+		}
+	}
+}
+
+func TestBuiltinsStronglyConnected(t *testing.T) {
+	for _, g := range []*Graph{B4(), Abilene(), SWAN(), Circle(10, 2), Grid(3, 4)} {
+		for s := 0; s < g.NumNodes(); s++ {
+			for d := 0; d < g.NumNodes(); d++ {
+				if s == d {
+					continue
+				}
+				if _, ok := g.ShortestPath(Node(s), Node(d)); !ok {
+					t.Fatalf("%s: %d cannot reach %d", g.Name(), s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestCirclePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Circle(2, 1) },
+		func() { Circle(5, 0) },
+		func() { Circle(5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAvgShortestPathLenGrowsWithCircleSize(t *testing.T) {
+	// The premise behind Figure 4b: sparser/larger circles have longer
+	// average shortest paths.
+	l1 := Circle(6, 1).AvgShortestPathLen()
+	l2 := Circle(10, 1).AvgShortestPathLen()
+	l3 := Circle(10, 2).AvgShortestPathLen()
+	if !(l2 > l1) {
+		t.Fatalf("avg path len should grow with n: %v vs %v", l1, l2)
+	}
+	if !(l3 < l2) {
+		t.Fatalf("avg path len should shrink with more neighbours: %v vs %v", l3, l2)
+	}
+	// Circle(6,1): distances 1,2,3,2,1 per source -> avg 9/5.
+	if math.Abs(l1-9.0/5.0) > 1e-9 {
+		t.Fatalf("circle(6,1) avg = %v, want 1.8", l1)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"figure1", "b4", "abilene", "swan", "circle-8-2", "waxman-12-5"} {
+		g, err := ByName(name)
+		if err != nil || g == nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+// TestQuickKShortestAgainstBruteForce enumerates all loopless paths by DFS
+// on random small graphs and checks Yen returns the k cheapest weights.
+func TestQuickKShortestAgainstBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		g := New("rand", n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.45 {
+					g.AddEdgeW(Node(i), Node(j), 1, 1+rng.Float64()*3)
+				}
+			}
+		}
+		s, d := Node(0), Node(n-1)
+
+		// Brute force: all loopless path weights.
+		var weights []float64
+		var dfs func(u Node, visited map[Node]bool, w float64)
+		dfs = func(u Node, visited map[Node]bool, w float64) {
+			if u == d {
+				weights = append(weights, w)
+				return
+			}
+			visited[u] = true
+			for _, id := range g.out[u] {
+				e := g.Edge(id)
+				if !visited[e.To] {
+					dfs(e.To, visited, w+e.Weight)
+				}
+			}
+			visited[u] = false
+		}
+		dfs(s, map[Node]bool{}, 0)
+
+		k := 4
+		got := g.KShortestPaths(s, d, k)
+		if len(weights) == 0 {
+			return len(got) == 0
+		}
+		// Sort brute-force weights ascending.
+		for i := range weights {
+			for j := i + 1; j < len(weights); j++ {
+				if weights[j] < weights[i] {
+					weights[i], weights[j] = weights[j], weights[i]
+				}
+			}
+		}
+		wantLen := k
+		if len(weights) < k {
+			wantLen = len(weights)
+		}
+		if len(got) != wantLen {
+			t.Logf("seed %d: got %d paths, want %d", seed, len(got), wantLen)
+			return false
+		}
+		for i, p := range got {
+			if math.Abs(p.Weight(g)-weights[i]) > 1e-9 {
+				t.Logf("seed %d: path %d weight %v, want %v", seed, i, p.Weight(g), weights[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithCapacities(t *testing.T) {
+	g := Line(3)
+	caps := make([]float64, g.NumEdges())
+	for i := range caps {
+		caps[i] = float64(10 * (i + 1))
+	}
+	ng := g.WithCapacities(caps)
+	if ng.Edge(0).Capacity != 10 || ng.Edge(3).Capacity != 40 {
+		t.Fatalf("capacities not applied: %+v", ng.Edges())
+	}
+	// Original untouched; structure shared.
+	if g.Edge(0).Capacity != DefaultCapacity {
+		t.Fatal("original graph mutated")
+	}
+	if ng.NumNodes() != g.NumNodes() || ng.NumEdges() != g.NumEdges() {
+		t.Fatal("structure changed")
+	}
+	p1, _ := g.ShortestPath(0, 2)
+	p2, _ := ng.ShortestPath(0, 2)
+	if !p1.Equal(p2) {
+		t.Fatal("paths diverged")
+	}
+}
+
+func TestWithCapacitiesPanics(t *testing.T) {
+	g := Line(3)
+	for _, caps := range [][]float64{
+		{1, 2},        // wrong length
+		{-1, 1, 1, 1}, // negative
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			g.WithCapacities(caps)
+		}()
+	}
+}
+
+func TestWaxmanConnectedAndSeeded(t *testing.T) {
+	for _, n := range []int{2, 5, 12, 25} {
+		g := Waxman(n, 0.4, 0.4, rand.New(rand.NewSource(7)))
+		if g.NumNodes() != n {
+			t.Fatalf("nodes=%d", g.NumNodes())
+		}
+		// Bidirectional edges in pairs, at least a spanning tree's worth.
+		if g.NumEdges() < 2*(n-1) || g.NumEdges()%2 != 0 {
+			t.Fatalf("n=%d: edges=%d", n, g.NumEdges())
+		}
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					if _, ok := g.ShortestPath(Node(s), Node(d)); !ok {
+						t.Fatalf("waxman(%d) not connected: %d->%d", n, s, d)
+					}
+				}
+			}
+		}
+	}
+	// Same seed, same graph.
+	a := Waxman(10, 0.4, 0.4, rand.New(rand.NewSource(3)))
+	b := Waxman(10, 0.4, 0.4, rand.New(rand.NewSource(3)))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed diverged: %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+}
+
+func TestWaxmanPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Waxman(1, 0.4, 0.4, rand.New(rand.NewSource(1))) },
+		func() { Waxman(5, 0, 0.4, rand.New(rand.NewSource(1))) },
+		func() { Waxman(5, 1.5, 0.4, rand.New(rand.NewSource(1))) },
+		func() { Waxman(5, 0.4, 0, rand.New(rand.NewSource(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,214 @@
+// Package metaopt finds provably adversarial inputs for network heuristics:
+// inputs that maximize the gap between a heuristic and its optimal
+// counterpart. It reproduces "Minding the gap between fast heuristics and
+// their optimal counterparts" (HotNets 2022).
+//
+// The library poses both the optimal algorithm and the heuristic as linear
+// programs, rewrites the resulting two-stage Stackelberg game into a
+// single-shot optimization via the KKT conditions, and solves it with a
+// built-in simplex + branch-and-bound stack (stdlib only — no external
+// solver). Black-box baselines (hill climbing, simulated annealing) are
+// included for comparison, as are the paper's two production heuristics:
+// Demand Pinning and POP.
+//
+// # Quick start
+//
+//	g := metaopt.Figure1()
+//	set := metaopt.NewDemandSet([]metaopt.Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+//	inst, _ := metaopt.NewInstance(g, set, 2)
+//	res, _ := metaopt.FindDPGap(inst, 50, metaopt.InputConstraints{MaxDemand: 100}, metaopt.SearchOptions{})
+//	fmt.Printf("worst-case gap: %.0f flow units\n", res.Gap) // 100
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// mapping from the paper's sections to packages.
+package metaopt
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/blackbox"
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/mcf"
+	"repro/internal/milp"
+	"repro/internal/topology"
+)
+
+// Re-exported model types. The heavy lifting lives in internal packages;
+// these aliases form the supported public surface.
+type (
+	// Graph is a directed capacitated network.
+	Graph = topology.Graph
+	// Node indexes a graph node.
+	Node = topology.Node
+	// Edge is a directed capacitated link.
+	Edge = topology.Edge
+	// Path is a sequence of edge ids.
+	Path = topology.Path
+	// Pair is an ordered source/target demand pair.
+	Pair = demand.Pair
+	// DemandSet holds demand pairs and volumes.
+	DemandSet = demand.Set
+	// Instance is a TE problem: topology + demands + per-pair paths.
+	Instance = mcf.Instance
+	// Flow is a feasible flow assignment.
+	Flow = mcf.Flow
+	// POPOptions configures the POP heuristic.
+	POPOptions = mcf.POPOptions
+	// InputConstraints is the ConstrainedSet of inputs the adversary
+	// searches within.
+	InputConstraints = core.InputConstraints
+	// Goalpost bounds demands near a reference vector.
+	Goalpost = core.Goalpost
+	// HoseConstraint bounds per-node aggregate demand (the hose model).
+	HoseConstraint = core.HoseConstraint
+	// GapResult reports a found adversarial input and its verified gap.
+	GapResult = core.Result
+	// ModelStats reports meta-optimization sizes (Figure 6's quantities).
+	ModelStats = core.ModelStats
+	// DPGapProblem is the full-control white-box search for Demand Pinning.
+	DPGapProblem = core.DPGapProblem
+	// POPGapProblem is the full-control white-box search for POP.
+	POPGapProblem = core.POPGapProblem
+	// POPSplitGapProblem searches against POP with Appendix-A client
+	// splitting.
+	POPSplitGapProblem = core.POPSplitGapProblem
+	// CapacityGapProblem searches for adversarial topology (capacity)
+	// changes instead of demands (Section 5).
+	CapacityGapProblem = core.CapacityGapProblem
+	// SearchOptions tunes the branch-and-bound meta solver.
+	SearchOptions = milp.Options
+	// SearchResult exposes solver diagnostics.
+	SearchResult = milp.Result
+	// BlackboxOptions tunes hill climbing.
+	BlackboxOptions = blackbox.Options
+	// AnnealOptions tunes simulated annealing.
+	AnnealOptions = blackbox.SAOptions
+	// BlackboxResult is a local-search outcome with its gap-vs-time trace.
+	BlackboxResult = blackbox.Result
+	// GapFunc evaluates OPT minus heuristic for a demand vector.
+	GapFunc = blackbox.GapFunc
+)
+
+// ErrInfeasible is returned when a heuristic admits no feasible flow.
+var ErrInfeasible = mcf.ErrInfeasible
+
+// Built-in topologies.
+var (
+	// Figure1 is the paper's 3-node motivating example.
+	Figure1 = topology.Figure1
+	// B4 is Google's 12-site inter-datacenter WAN.
+	B4 = topology.B4
+	// Abilene is the 11-PoP Internet2 backbone.
+	Abilene = topology.Abilene
+	// SWAN is a SWAN-like 10-node WAN.
+	SWAN = topology.SWAN
+	// Circle builds the synthetic circulant family of Figure 4b.
+	Circle = topology.Circle
+	// TopologyByName resolves "b4", "abilene", "swan", "figure1",
+	// "circle-N-M".
+	TopologyByName = topology.ByName
+)
+
+// NewDemandSet builds a demand set over explicit pairs.
+func NewDemandSet(pairs []Pair) *DemandSet { return demand.NewSet(pairs) }
+
+// AllPairs builds the all-ordered-pairs demand set of a graph.
+func AllPairs(g *Graph) *DemandSet { return demand.AllPairs(g) }
+
+// ReachablePairs builds the demand set of all ordered pairs with a path —
+// use instead of AllPairs on directed topologies like Figure1.
+func ReachablePairs(g *Graph) *DemandSet { return demand.ReachablePairs(g) }
+
+// RandomPairs samples k distinct ordered pairs — the demand-support
+// restriction used to scale meta optimizations.
+func RandomPairs(g *Graph, k int, rng *rand.Rand) *DemandSet {
+	return demand.RandomPairs(g, k, rng)
+}
+
+// NewInstance computes numPaths shortest paths per demand pair.
+func NewInstance(g *Graph, set *DemandSet, numPaths int) (*Instance, error) {
+	return mcf.NewInstance(g, set, numPaths)
+}
+
+// SolveMaxFlow solves the optimal total-flow problem (OPT).
+func SolveMaxFlow(inst *Instance) (*Flow, error) { return mcf.SolveMaxFlow(inst) }
+
+// SolveDemandPinning runs the DP heuristic with the given threshold.
+func SolveDemandPinning(inst *Instance, threshold float64) (*Flow, error) {
+	return mcf.SolveDemandPinning(inst, threshold)
+}
+
+// DemandPinningFeasible reports whether DP's pinning fits link capacities.
+func DemandPinningFeasible(inst *Instance, threshold float64) bool {
+	return mcf.DemandPinningFeasible(inst, threshold)
+}
+
+// SolvePOP runs the POP heuristic.
+func SolvePOP(inst *Instance, opts POPOptions) (*Flow, error) { return mcf.SolvePOP(inst, opts) }
+
+// SolveMaxConcurrent maximizes the common served fraction lambda (the
+// fairness-flavored objective of the paper's Section 2).
+func SolveMaxConcurrent(inst *Instance) (*Flow, float64, error) {
+	return mcf.SolveMaxConcurrent(inst)
+}
+
+// SolveDemandPinningConcurrent runs DP under the concurrent objective.
+func SolveDemandPinningConcurrent(inst *Instance, threshold float64) (*Flow, float64, error) {
+	return mcf.SolveDemandPinningConcurrent(inst, threshold)
+}
+
+// ConcurrentDPGapFunc returns the black-box gap oracle lambda_OPT -
+// lambda_DP for the concurrent objective.
+func ConcurrentDPGapFunc(inst *Instance, threshold float64) GapFunc {
+	return blackbox.ConcurrentDPGap(inst, threshold)
+}
+
+// FindDPGap searches for the demands maximizing OPT - DemandPinning.
+func FindDPGap(inst *Instance, threshold float64, input InputConstraints, opts SearchOptions) (*GapResult, error) {
+	pr := &core.DPGapProblem{Inst: inst, Threshold: threshold, Input: input}
+	return pr.Solve(opts)
+}
+
+// FindPOPGap searches for the demands maximizing OPT - POP, targeting the
+// expected POP value over instantiations fixed random partitionings.
+func FindPOPGap(inst *Instance, partitions, instantiations int, rng *rand.Rand,
+	input InputConstraints, opts SearchOptions) (*GapResult, error) {
+	pr := &core.POPGapProblem{
+		Inst: inst, Partitions: partitions, Instantiations: instantiations,
+		Rng: rng, Input: input,
+	}
+	return pr.Solve(opts)
+}
+
+// POPTransferGap tests how an adversarial input generalizes to fresh random
+// partitionings (Figure 5a's evaluation).
+func POPTransferGap(inst *Instance, demands []float64, partitions, rounds int, rng *rand.Rand) (float64, error) {
+	return core.POPTransferGap(inst, demands, partitions, rounds, rng)
+}
+
+// DPGapFunc returns the black-box gap oracle for Demand Pinning.
+func DPGapFunc(inst *Instance, threshold float64) GapFunc { return blackbox.DPGap(inst, threshold) }
+
+// POPGapFunc returns the black-box gap oracle for POP over fixed partition
+// assignments.
+func POPGapFunc(inst *Instance, assignments [][]int, partitions int) GapFunc {
+	return blackbox.POPGap(inst, assignments, partitions)
+}
+
+// HillClimb runs Algorithm 1 (random-restart hill climbing).
+func HillClimb(gap GapFunc, numDemands int, opts BlackboxOptions) (*BlackboxResult, error) {
+	return blackbox.HillClimb(gap, numDemands, opts)
+}
+
+// SimulatedAnneal runs the annealed local search of Section 3.4.
+func SimulatedAnneal(gap GapFunc, numDemands int, opts AnnealOptions) (*BlackboxResult, error) {
+	return blackbox.SimulatedAnneal(gap, numDemands, opts)
+}
+
+// SafeThreshold finds the largest DP threshold whose worst-case gap stays
+// at or below eps (the Section-5 "sufficient conditions" use case).
+func SafeThreshold(pr *DPGapProblem, lo, hi, eps float64, iters int, perQuery time.Duration) (float64, error) {
+	return core.SafeThreshold(pr, lo, hi, eps, iters, perQuery)
+}

@@ -1,0 +1,207 @@
+package metaopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestFacadeQuickstart runs the doc-comment quick start end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	g := Figure1()
+	set := NewDemandSet([]Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	inst, err := NewInstance(g, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FindDPGap(inst, 50, InputConstraints{MaxDemand: 100}, SearchOptions{MaxNodes: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Gap-100) > 1e-4 {
+		t.Fatalf("gap=%v, want 100", res.Gap)
+	}
+}
+
+func TestFacadeDirectSolvers(t *testing.T) {
+	g := Abilene()
+	set := AllPairs(g)
+	rng := rand.New(rand.NewSource(1))
+	set.Uniform(rng, 0, 20)
+	inst, err := NewInstance(g, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := SolveMaxFlow(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DemandPinningFeasible(inst, 5) {
+		t.Skip("random instance not DP-feasible at threshold 5")
+	}
+	dp, err := SolveDemandPinning(inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := SolvePOP(inst, POPOptions{Partitions: 2, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Total > opt.Total+1e-5 || pop.Total > opt.Total+1e-5 {
+		t.Fatalf("heuristics beat OPT: dp=%v pop=%v opt=%v", dp.Total, pop.Total, opt.Total)
+	}
+}
+
+func TestFacadeBlackbox(t *testing.T) {
+	g := Figure1()
+	set := NewDemandSet([]Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	inst, err := NewInstance(g, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := HillClimb(DPGapFunc(inst, 50), 3, BlackboxOptions{
+		MaxDemand: 100, Sigma: 10, K: 60, Restarts: 3, Rng: rand.New(rand.NewSource(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Gap <= 0 {
+		t.Fatalf("hill climb gap %v", hc.Gap)
+	}
+	sa, err := SimulatedAnneal(DPGapFunc(inst, 50), 3, AnnealOptions{
+		Options: BlackboxOptions{MaxDemand: 100, Sigma: 10, K: 60, Restarts: 3,
+			Rng: rand.New(rand.NewSource(5))},
+		T0: 500, Gamma: 0.1, KP: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Gap <= 0 {
+		t.Fatalf("simulated annealing gap %v", sa.Gap)
+	}
+}
+
+func TestFacadeTopologyByName(t *testing.T) {
+	g, err := TopologyByName("circle-8-1")
+	if err != nil || g.NumNodes() != 8 {
+		t.Fatalf("ByName: %v", err)
+	}
+}
+
+func TestFacadePOPGapAndTransfer(t *testing.T) {
+	g, err := TopologyByName("figure1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewDemandSet([]Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	inst, err := NewInstance(g, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FindPOPGap(inst, 2, 2, rand.New(rand.NewSource(9)),
+		InputConstraints{MaxDemand: 100}, SearchOptions{MaxNodes: 100000, DepthFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demands == nil {
+		t.Fatalf("no incumbent: %+v", res.Solver.Status)
+	}
+	transfer, err := POPTransferGap(inst, res.Demands, 2, 4, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if transfer < -1e-6 {
+		t.Fatalf("negative transfer gap %v", transfer)
+	}
+}
+
+func TestFacadeCapacityGap(t *testing.T) {
+	g := Figure1()
+	set := NewDemandSet([]Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	set.SetVolumes([]float64{100, 100, 50})
+	inst, err := NewInstance(g, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &CapacityGapProblem{
+		Inst: inst, Threshold: 50,
+		CapLo: []float64{50, 50, 50}, CapHi: []float64{150, 150, 150},
+	}
+	res, err := pr.Solve(SearchOptions{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demands == nil || res.Gap < 0 {
+		t.Fatalf("capacity gap: %+v", res)
+	}
+}
+
+func TestFacadePOPSplitGap(t *testing.T) {
+	g, _ := TopologyByName("figure1")
+	set := NewDemandSet([]Pair{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	inst, err := NewInstance(g, set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &POPSplitGapProblem{
+		Inst: inst, Partitions: 2, Instantiations: 1,
+		Rng: rand.New(rand.NewSource(3)), SplitThreshold: 50, MaxSplits: 1,
+		Input: InputConstraints{MaxDemand: 100},
+	}
+	res, err := pr.Solve(SearchOptions{MaxNodes: 40000, DepthFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demands == nil {
+		t.Fatalf("no result: %v", res.Solver.Status)
+	}
+}
+
+// TestEndToEndOnRandomWANs drives the full pipeline — topology generation,
+// instance construction, direct solvers, white-box gap search with
+// verification — across seeded random Waxman WANs, as a downstream user
+// would. Every result must be verified-consistent and within bounds.
+func TestEndToEndOnRandomWANs(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g, err := TopologyByName(fmt.Sprintf("waxman-%d-%d", 8+2*seed, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		set := RandomPairs(g, 8, rng)
+		inst, err := NewInstance(g, set, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := FindDPGap(inst, 10, InputConstraints{MaxDemand: 100},
+			SearchOptions{TimeLimit: 2 * time.Second, DepthFirst: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Demands == nil {
+			t.Fatalf("seed %d: no input found (%v)", seed, res.Solver.Status)
+		}
+		if res.Gap < 0 {
+			t.Fatalf("seed %d: negative verified gap %v", seed, res.Gap)
+		}
+		// The verified gap must be reproducible with the direct solvers.
+		at := inst.WithVolumes(res.Demands)
+		opt, err := SolveMaxFlow(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := SolveDemandPinning(at, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := opt.Total - dp.Total; math.Abs(got-res.Gap) > 1e-4 {
+			t.Fatalf("seed %d: reported gap %v, recomputed %v", seed, res.Gap, got)
+		}
+		// And the solver's bound must dominate it.
+		if res.Solver.Bound < res.Gap-1e-4 {
+			t.Fatalf("seed %d: bound %v below verified gap %v", seed, res.Solver.Bound, res.Gap)
+		}
+	}
+}
