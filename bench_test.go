@@ -7,6 +7,7 @@ package metaopt
 // same experiments with paper-scale budgets (see EXPERIMENTS.md).
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mcf"
 	"repro/internal/milp"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -287,4 +289,21 @@ func BenchmarkBlackboxEvalDP(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBnBTracerDisabled is the observability-overhead reference: the
+// same search as BenchmarkAblationBaseline with no tracer attached, so every
+// instrumentation site reduces to one nil check. Compare against
+// BenchmarkBnBTracerFull to bound the cost of tracing; the two must stay
+// within noise of each other and of the baseline (the disabled path does not
+// allocate — internal/obs TestDisabledEmitDoesNotAllocate proves it).
+func BenchmarkBnBTracerDisabled(b *testing.B) {
+	runAblation(b, figure1Problem(), milp.Options{Tracer: nil})
+}
+
+// BenchmarkBnBTracerFull runs with the full sink stack a CLI would attach:
+// JSONL encoding (to io.Discard) plus a metrics sink on a private registry.
+func BenchmarkBnBTracerFull(b *testing.B) {
+	tr := obs.NewTracer(obs.NewJSONLWriter(io.Discard), obs.NewMetricsSink(obs.NewRegistry()))
+	runAblation(b, figure1Problem(), milp.Options{Tracer: tr})
 }

@@ -7,6 +7,7 @@
 //	figures -fig 3 -budget 10s
 //	figures -fig 4a -pairs 12
 //	figures -fig all
+//	figures -fromtrace out.jsonl          # gap-vs-time rows from a -trace file
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // csvDir, when set, receives one CSV file per figure alongside the printed
@@ -56,10 +58,27 @@ func main() {
 	paths := flag.Int("paths", 2, "paths per demand pair")
 	seed := flag.Int64("seed", 1, "random seed")
 	csvOut := flag.String("csv", "", "directory to also write per-figure CSV files into")
+	fromTrace := flag.String("fromtrace", "", "replot a Figure-3 style gap-vs-time curve from a JSONL trace written with -trace")
+	tracePath := flag.String("trace", "", "write a JSONL event trace of the searches to this file")
+	metricsDump := flag.Bool("metrics", false, "print a Prometheus-style metrics dump on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 	csvDir = *csvOut
 
-	cfg := experiments.Config{Budget: *budget, Pairs: *pairs, Paths: *paths, Seed: *seed}
+	if *fromTrace != "" {
+		if err := figFromTrace(*fromTrace); err != nil {
+			log.Fatalf("fromtrace: %v", err)
+		}
+		return
+	}
+
+	tracer, finishObs, err := obs.SetupCLI(*tracePath, *metricsDump, *pprofAddr, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finishObs()
+
+	cfg := experiments.Config{Budget: *budget, Pairs: *pairs, Paths: *paths, Seed: *seed, Tracer: tracer}
 	runners := map[string]func(experiments.Config) error{
 		"1": fig1, "2": fig2, "3": fig3, "4a": fig4a, "4b": fig4b,
 		"5a": fig5a, "5b": fig5b, "6": fig6,
@@ -82,6 +101,45 @@ func main() {
 	if err := run(cfg); err != nil {
 		log.Fatalf("figure %s: %v", *fig, err)
 	}
+}
+
+// figFromTrace replots the Figure-3 gap-versus-time curve from a JSONL
+// event trace: one row per incumbent improvement, plus the terminal bound.
+// Any trace written with a -trace flag (gapfinder, tesolve, figures) works.
+func figFromTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d events\n", path, len(recs))
+	fmt.Printf("%-10s %10s %12s %10s %8s\n", "seconds", "gap", "bound", "source", "nodes")
+	var rows [][]string
+	for _, r := range recs {
+		switch r.Kind {
+		case obs.KindIncumbent.String(), obs.KindSolveDone.String():
+			src := r.Source
+			if r.Kind == obs.KindSolveDone.String() {
+				src = "done/" + r.Status
+			}
+			fmt.Printf("%-10.3f %10.4f %12.4f %10s %8d\n",
+				r.T, r.Objective, r.Bound, src, r.Nodes)
+			rows = append(rows, []string{
+				fmt.Sprintf("%.4f", r.T),
+				fmt.Sprintf("%.6f", r.Objective),
+				fmt.Sprintf("%.6f", r.Bound),
+				src, fmt.Sprint(r.Nodes)})
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Println("(no incumbent events in trace)")
+		return nil
+	}
+	return writeCSV("fromtrace", []string{"seconds", "gap", "bound", "source", "nodes"}, rows)
 }
 
 func fig1(experiments.Config) error {

@@ -23,10 +23,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/mcf"
 	"repro/internal/milp"
+	"repro/internal/obs"
 )
 
 func main() {
-	topoName := flag.String("topo", "b4", "topology: b4, abilene, swan, figure1, circle-N-M")
+	var topoFlag string
+	flag.StringVar(&topoFlag, "topo", "b4", "topology: b4, abilene, swan, figure1, circle-N-M")
+	flag.StringVar(&topoFlag, "topology", "b4", "alias for -topo")
+	topoName := &topoFlag
 	heuristic := flag.String("heuristic", "dp", "heuristic: dp or pop")
 	method := flag.String("method", "whitebox", "search method: whitebox, hillclimb, anneal")
 	pairs := flag.Int("pairs", 12, "demand pairs in the search support (-1 = all pairs)")
@@ -42,8 +46,17 @@ func main() {
 	safeEps := flag.Float64("safe-eps", 0, "instead of searching for a gap, find the largest DP threshold whose worst-case gap stays <= safe-eps (dp only; 0 = off)")
 	report := flag.String("report", "", "also write a markdown report of the findings to this file (whitebox only)")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+	metricsDump := flag.Bool("metrics", false, "print a Prometheus-style metrics dump on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 	reportPath = *report
+
+	tracer, finishObs, err := obs.SetupCLI(*tracePath, *metricsDump, *pprofAddr, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finishObs()
 
 	g, err := metaopt.TopologyByName(*topoName)
 	if err != nil {
@@ -79,10 +92,10 @@ func main() {
 	switch *method {
 	case "whitebox":
 		runWhitebox(inst, set, *heuristic, *threshold, *partitions, *instantiations,
-			*maxDemand, *budget, *seed, *target, *diverse, *quiet)
+			*maxDemand, *budget, *seed, *target, *diverse, *quiet, tracer)
 	case "hillclimb", "anneal":
 		runBlackbox(inst, set, *heuristic, *method, *threshold, *partitions, *instantiations,
-			*maxDemand, *budget, *seed)
+			*maxDemand, *budget, *seed, tracer)
 	default:
 		log.Fatalf("unknown method %q", *method)
 	}
@@ -90,7 +103,8 @@ func main() {
 
 func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic string,
 	threshold float64, partitions, instantiations int, maxDemand float64,
-	budget time.Duration, seed int64, target float64, diverse int, quiet bool) {
+	budget time.Duration, seed int64, target float64, diverse int, quiet bool,
+	tracer *obs.Tracer) {
 
 	input := metaopt.InputConstraints{MaxDemand: maxDemand}
 	opts := milp.Options{
@@ -98,6 +112,7 @@ func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic strin
 		DepthFirst:   true,
 		StallWindow:  budget / 3,
 		StallImprove: 0.005,
+		Tracer:       tracer,
 	}
 	if target > 0 {
 		opts.Target = &target
@@ -128,6 +143,7 @@ func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic strin
 		}
 		if res.Demands == nil {
 			fmt.Printf("no adversarial input found (%v)\n", res.Solver.Status)
+			printSummary(res)
 			return
 		}
 		fmt.Printf("result #%d: gap=%.2f (normalized %.4f)  OPT=%.2f  heuristic=%.2f\n",
@@ -135,6 +151,7 @@ func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic strin
 		fmt.Printf("  solver: %v, bound %.2f, %d nodes, %d LPs, %v\n",
 			res.Solver.Status, res.Solver.Bound, res.Solver.Nodes, res.Solver.LPSolves,
 			res.Solver.Elapsed.Round(time.Millisecond))
+		printSummary(res)
 		fmt.Printf("  model:  %d vars, %d rows, %d SOS pairs, %d binaries\n",
 			res.Stats.Vars, res.Stats.LinearCons, res.Stats.SOSPairs, res.Stats.Binaries)
 		printDemands(set, res.Demands, threshold, heuristic)
@@ -146,9 +163,16 @@ func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic strin
 	}
 }
 
+// printSummary emits the one-line machine-greppable whitebox solve summary.
+func printSummary(res *metaopt.GapResult) {
+	fmt.Printf("SUMMARY status=%s gap=%.4f bound=%.4f nodes=%d lp_solves=%d lp_iters=%d wall=%.3fs\n",
+		res.Solver.Status, res.Gap, res.Solver.Bound, res.Solver.Nodes,
+		res.Solver.LPSolves, res.Solver.LPIters, res.Solver.Elapsed.Seconds())
+}
+
 func runBlackbox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic, method string,
 	threshold float64, partitions, instantiations int, maxDemand float64,
-	budget time.Duration, seed int64) {
+	budget time.Duration, seed int64, tracer *obs.Tracer) {
 
 	var gapFn blackbox.GapFunc
 	switch heuristic {
@@ -167,6 +191,7 @@ func runBlackbox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic, meth
 	base := blackbox.Options{
 		MaxDemand: maxDemand, Sigma: maxDemand / 10, K: 100,
 		Budget: budget, Rng: rand.New(rand.NewSource(seed)),
+		Tracer: tracer,
 	}
 	var res *blackbox.Result
 	var err error
@@ -181,6 +206,8 @@ func runBlackbox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic, meth
 	}
 	fmt.Printf("result: gap=%.2f after %d evaluations in %v\n",
 		res.Gap, res.Evals, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("SUMMARY method=%s gap=%.4f evals=%d wall=%.3fs\n",
+		method, res.Gap, res.Evals, res.Elapsed.Seconds())
 	printDemands(set, res.Demands, threshold, heuristic)
 }
 

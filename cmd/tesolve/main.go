@@ -13,12 +13,17 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	metaopt "repro"
+	"repro/internal/obs"
 )
 
 func main() {
-	topoName := flag.String("topo", "abilene", "topology: b4, abilene, swan, figure1, circle-N-M")
+	var topoFlag string
+	flag.StringVar(&topoFlag, "topo", "abilene", "topology: b4, abilene, swan, figure1, circle-N-M")
+	flag.StringVar(&topoFlag, "topology", "abilene", "alias for -topo")
+	topoName := &topoFlag
 	model := flag.String("model", "gravity", "demand model: gravity or uniform")
 	peak := flag.Float64("peak", 40, "gravity peak demand")
 	lo := flag.Float64("lo", 0, "uniform low")
@@ -31,7 +36,16 @@ func main() {
 	maxSplits := flag.Int("maxsplits", 2, "max per-client splits")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print per-link loads")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+	metricsDump := flag.Bool("metrics", false, "print a Prometheus-style metrics dump on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	tracer, finishObs, err := obs.SetupCLI(*tracePath, *metricsDump, *pprofAddr, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finishObs()
 
 	g, err := metaopt.TopologyByName(*topoName)
 	if err != nil {
@@ -54,16 +68,24 @@ func main() {
 	fmt.Printf("%s: %d nodes, %d links; %d demands totaling %.1f\n\n",
 		g.Name(), g.NumNodes(), g.NumEdges(), set.Len(), set.Total())
 
-	opt, err := metaopt.SolveMaxFlow(inst)
-	if err != nil {
+	var opt *metaopt.Flow
+	if _, err := obs.TimePhase(tracer, "opt", func() error {
+		var serr error
+		opt, serr = metaopt.SolveMaxFlow(inst)
+		return serr
+	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-22s total=%9.2f  (%.1f%% of demand)\n", "OPT (max total flow)",
 		opt.Total, 100*opt.Total/set.Total())
 
 	if metaopt.DemandPinningFeasible(inst, *threshold) {
-		dp, err := metaopt.SolveDemandPinning(inst, *threshold)
-		if err != nil {
+		var dp *metaopt.Flow
+		if _, err := obs.TimePhase(tracer, "dp", func() error {
+			var serr error
+			dp, serr = metaopt.SolveDemandPinning(inst, *threshold)
+			return serr
+		}); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-22s total=%9.2f  gap=%8.2f (%.2f%% of OPT)\n",
@@ -78,8 +100,12 @@ func main() {
 		Partitions: *partitions, Rng: rng,
 		ClientSplit: *clientSplit, SplitThreshold: *splitThreshold, MaxSplits: *maxSplits,
 	}
-	pop, err := metaopt.SolvePOP(inst, popOpts)
-	if err != nil {
+	var pop *metaopt.Flow
+	if _, err := obs.TimePhase(tracer, "pop", func() error {
+		var serr error
+		pop, serr = metaopt.SolvePOP(inst, popOpts)
+		return serr
+	}); err != nil {
 		log.Fatal(err)
 	}
 	label := fmt.Sprintf("POP (%d partitions)", *partitions)

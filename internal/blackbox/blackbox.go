@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/mcf"
+	"repro/internal/obs"
 )
 
 // GapFunc evaluates the gap for a demand vector. Implementations return
@@ -123,6 +124,11 @@ type Options struct {
 	Budget time.Duration
 	// Rng is required, keeping every search reproducible.
 	Rng *rand.Rand
+	// Tracer, if non-nil, receives structured events: a restart event per
+	// random restart, move_accepted/move_rejected per neighbor evaluation,
+	// and incumbent events (Source = "hill" or "anneal") whenever the best
+	// known gap improves.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) validate() error {
@@ -173,6 +179,8 @@ func (o *Options) neighbor(d []float64) []float64 {
 // search runs restarts of a single-start strategy, tracking the best point.
 type search struct {
 	opts    *Options
+	method  string // "hill" or "anneal"; tags incumbent/restart events
+	tr      *obs.Tracer
 	start   time.Time
 	best    []float64
 	bestGap float64
@@ -180,12 +188,27 @@ type search struct {
 	trace   []TracePoint
 }
 
-func newSearch(o *Options) *search {
-	return &search{opts: o, start: time.Now(), bestGap: math.Inf(-1)}
+func newSearch(o *Options, method string) *search {
+	return &search{opts: o, method: method, tr: o.Tracer,
+		start: time.Now(), bestGap: math.Inf(-1)}
 }
 
 func (s *search) expired() bool {
 	return s.opts.Budget > 0 && time.Since(s.start) >= s.opts.Budget
+}
+
+func (s *search) restarted() {
+	s.tr.Emit(obs.Event{Kind: obs.KindRestart, Source: s.method,
+		Objective: s.bestGap, Iters: s.evals})
+}
+
+// moved reports one neighbor evaluation's accept/reject outcome.
+func (s *search) moved(accepted bool, gap float64) {
+	k := obs.KindMoveReject
+	if accepted {
+		k = obs.KindMoveAccept
+	}
+	s.tr.Emit(obs.Event{Kind: k, Source: s.method, Objective: gap, Iters: s.evals})
 }
 
 func (s *search) observe(d []float64, gap float64) {
@@ -194,6 +217,8 @@ func (s *search) observe(d []float64, gap float64) {
 		s.bestGap = gap
 		s.best = append([]float64(nil), d...)
 		s.trace = append(s.trace, TracePoint{Elapsed: time.Since(s.start), Gap: gap, Evals: s.evals})
+		s.tr.Emit(obs.Event{Kind: obs.KindIncumbent, Source: s.method,
+			Objective: gap, Iters: s.evals})
 	}
 }
 
@@ -212,11 +237,12 @@ func HillClimb(gap GapFunc, n int, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	s := newSearch(&opts)
+	s := newSearch(&opts, "hill")
 	for restart := 0; opts.Restarts <= 0 || restart < opts.Restarts; restart++ {
 		if s.expired() {
 			break
 		}
+		s.restarted()
 		d := opts.randomStart(n)
 		g, err := gap(d)
 		if err != nil {
@@ -233,6 +259,9 @@ func HillClimb(gap GapFunc, n int, opts Options) (*Result, error) {
 			if ag > g {
 				d, g = aux, ag
 				k = -1 // Algorithm 1: reset patience on improvement
+				s.moved(true, ag)
+			} else {
+				s.moved(false, ag)
 			}
 		}
 		if opts.Budget <= 0 && opts.Restarts <= 0 {
@@ -269,11 +298,12 @@ func SimulatedAnneal(gap GapFunc, n int, opts SAOptions) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	s := newSearch(&opts.Options)
+	s := newSearch(&opts.Options, "anneal")
 	for restart := 0; opts.Restarts <= 0 || restart < opts.Restarts; restart++ {
 		if s.expired() {
 			break
 		}
+		s.restarted()
 		d := opts.randomStart(n)
 		g, err := gap(d)
 		if err != nil {
@@ -296,12 +326,16 @@ func SimulatedAnneal(gap GapFunc, n int, opts SAOptions) (*Result, error) {
 			case ag > g:
 				d, g = aux, ag
 				sinceImprove = 0
+				s.moved(true, ag)
 			default:
 				sinceImprove++
 				// Accept downhill moves with annealing probability. A -Inf
 				// gap (infeasible heuristic input) gives probability zero.
 				if p := math.Exp((ag - g) / temp); opts.Rng.Float64() < p {
 					d, g = aux, ag
+					s.moved(true, ag)
+				} else {
+					s.moved(false, ag)
 				}
 			}
 		}

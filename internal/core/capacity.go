@@ -8,6 +8,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/mcf"
 	"repro/internal/milp"
+	"repro/internal/obs"
 )
 
 // CapacityGapProblem is the Section-5 extension: instead of adversarial
@@ -147,18 +148,33 @@ func (pr *CapacityGapProblem) Stats() (ModelStats, error) {
 // Solve runs the search and verifies the found capacities with the direct
 // solvers. Result.Demands carries the adversarial *capacities* here.
 func (pr *CapacityGapProblem) Solve(opts milp.Options) (*Result, error) {
-	b, err := pr.build()
+	var tm PhaseTimings
+	var b *capBuild
+	var err error
+	tm.Build, err = obs.TimePhase(opts.Tracer, "build", func() error {
+		var berr error
+		b, berr = pr.build()
+		if berr != nil {
+			return berr
+		}
+		if opts.Polish == nil {
+			opts.Polish = pr.polisher(b)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if opts.Polish == nil {
-		opts.Polish = pr.polisher(b)
-	}
-	res, err := milp.Solve(b.model, opts)
+	var res *milp.Result
+	tm.Solve, err = obs.TimePhase(opts.Tracer, "solve", func() error {
+		var serr error
+		res, serr = milp.Solve(b.model, opts)
+		return serr
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Stats: statsOf(b.model), Solver: res}
+	out := &Result{Stats: statsOf(b.model), Timings: tm, Solver: res}
 	if res.X == nil {
 		return out, nil
 	}
@@ -168,7 +184,10 @@ func (pr *CapacityGapProblem) Solve(opts milp.Options) (*Result, error) {
 	}
 	out.Demands = caps
 	out.ModelGap = res.Objective
-	if err := pr.verify(out); err != nil {
+	out.Timings.Verify, err = obs.TimePhase(opts.Tracer, "verify", func() error {
+		return pr.verify(out)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/demand"
 	"repro/internal/lp"
@@ -370,8 +371,25 @@ type Result struct {
 	ModelGap float64
 	// Stats describes the meta model's size.
 	Stats ModelStats
+	// Timings records wall time per solve phase, complementing Stats' static
+	// sizes — the dynamic half of the Figure-6 scaling story.
+	Timings PhaseTimings
 	// Solver carries branch-and-bound diagnostics (status, bound, nodes).
 	Solver *milp.Result
+}
+
+// PhaseTimings is the wall time spent in each phase of a gap search. When a
+// Tracer is set on the search Options, the same phases are also emitted as
+// phase_start/phase_end events (and land in the metrics registry as
+// phase_<name>_seconds histograms through a MetricsSink).
+type PhaseTimings struct {
+	// Build covers meta-model construction, including pricing the structured
+	// seed candidates with the direct solvers.
+	Build time.Duration
+	// Solve is the branch-and-bound search itself.
+	Solve time.Duration
+	// Verify is re-pricing the found input with the direct solvers.
+	Verify time.Duration
 }
 
 // statsOf snapshots model sizes after construction.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/mcf"
 	"repro/internal/milp"
+	"repro/internal/obs"
 )
 
 // DPGapProblem searches for demands maximizing OPT - DemandPinning on an
@@ -229,39 +230,54 @@ func (pr *DPGapProblem) Stats() (ModelStats, error) {
 // Solve runs the white-box search and verifies the found input against the
 // direct OPT and DP solvers.
 func (pr *DPGapProblem) Solve(opts milp.Options) (*Result, error) {
-	b, err := pr.build()
-	if err != nil {
-		return nil, err
-	}
-	if opts.Polish == nil && !pr.DisablePolish {
-		polish := pr.polisher(b)
-		opts.Polish = polish
-		// Price the structured candidates up front and hand them to the
-		// solver as seed incumbents, so even a search whose node LPs exceed
-		// the budget returns a genuine adversarial input.
-		nv := b.model.P.NumVars()
-		for _, cand := range [][]float64{
-			constantVector(len(b.demands), pr.Input.MaxDemand),
-			constantVector(len(b.demands), pr.Threshold),
-			pr.greedyPinSeed(),
-		} {
-			x := make([]float64, nv)
-			for k, dv := range b.demands {
-				x[dv] = cand[k]
-				if cand[k] <= pr.Threshold {
-					x[b.pinned[k]] = 1
+	var tm PhaseTimings
+	var b *dpBuild
+	var err error
+	tm.Build, err = obs.TimePhase(opts.Tracer, "build", func() error {
+		var berr error
+		b, berr = pr.build()
+		if berr != nil {
+			return berr
+		}
+		if opts.Polish == nil && !pr.DisablePolish {
+			polish := pr.polisher(b)
+			opts.Polish = polish
+			// Price the structured candidates up front and hand them to the
+			// solver as seed incumbents, so even a search whose node LPs exceed
+			// the budget returns a genuine adversarial input.
+			nv := b.model.P.NumVars()
+			for _, cand := range [][]float64{
+				constantVector(len(b.demands), pr.Input.MaxDemand),
+				constantVector(len(b.demands), pr.Threshold),
+				pr.greedyPinSeed(),
+			} {
+				x := make([]float64, nv)
+				for k, dv := range b.demands {
+					x[dv] = cand[k]
+					if cand[k] <= pr.Threshold {
+						x[b.pinned[k]] = 1
+					}
+				}
+				if obj, sol, ok := polish(x); ok {
+					opts.Seeds = append(opts.Seeds, milp.Seed{Objective: obj, X: sol})
 				}
 			}
-			if obj, sol, ok := polish(x); ok {
-				opts.Seeds = append(opts.Seeds, milp.Seed{Objective: obj, X: sol})
-			}
 		}
-	}
-	res, err := milp.Solve(b.model, opts)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Stats: statsOf(b.model), Solver: res}
+	var res *milp.Result
+	tm.Solve, err = obs.TimePhase(opts.Tracer, "solve", func() error {
+		var serr error
+		res, serr = milp.Solve(b.model, opts)
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Stats: statsOf(b.model), Timings: tm, Solver: res}
 	if res.X == nil {
 		return out, nil
 	}
@@ -278,7 +294,10 @@ func (pr *DPGapProblem) Solve(opts milp.Options) (*Result, error) {
 		}
 		out.Demands[k] = d
 	}
-	if err := pr.verify(out); err != nil {
+	out.Timings.Verify, err = obs.TimePhase(opts.Tracer, "verify", func() error {
+		return pr.verify(out)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/mcf"
 	"repro/internal/milp"
+	"repro/internal/obs"
 	"repro/internal/sortnet"
 )
 
@@ -168,49 +169,64 @@ func (pr *POPGapProblem) Stats() (ModelStats, error) {
 // Solve runs the white-box search and verifies the result against direct
 // POP solves on the same fixed assignments.
 func (pr *POPGapProblem) Solve(opts milp.Options) (*Result, error) {
-	b, err := pr.build()
-	if err != nil {
-		return nil, err
-	}
-	if opts.Polish == nil && !pr.DisablePolish {
-		polish := pr.polisher(b)
-		opts.Polish = polish
-		// Seed candidates, priced against the problem's own descriptor:
-		// the all-max input (POP's generic weakness, capacity
-		// fragmentation), and per-instantiation "concentrated" inputs that
-		// load a single partition's demands while the others idle — the
-		// structure behind the paper's observation that "unused capacity in
-		// a partition can be used to carry demands of another partition".
-		// Against one instantiation these overfit (Figure 5a); against the
-		// R-average only robustly bad ones survive the pricing.
-		nv := b.model.P.NumVars()
-		seed := func(d []float64) {
-			x := make([]float64, nv)
-			for k, dv := range b.demands {
-				x[dv] = d[k]
-			}
-			if obj, sol, ok := polish(x); ok {
-				opts.Seeds = append(opts.Seeds, milp.Seed{Objective: obj, X: sol})
-			}
+	var tm PhaseTimings
+	var b *popBuild
+	var err error
+	tm.Build, err = obs.TimePhase(opts.Tracer, "build", func() error {
+		var berr error
+		b, berr = pr.build()
+		if berr != nil {
+			return berr
 		}
-		seed(constantVector(len(b.demands), pr.Input.MaxDemand))
-		for _, assign := range b.assignments {
-			for c := 0; c < pr.Partitions; c++ {
-				d := make([]float64, len(b.demands))
-				for k, part := range assign {
-					if part == c {
-						d[k] = pr.Input.MaxDemand
-					}
+		if opts.Polish == nil && !pr.DisablePolish {
+			polish := pr.polisher(b)
+			opts.Polish = polish
+			// Seed candidates, priced against the problem's own descriptor:
+			// the all-max input (POP's generic weakness, capacity
+			// fragmentation), and per-instantiation "concentrated" inputs that
+			// load a single partition's demands while the others idle — the
+			// structure behind the paper's observation that "unused capacity in
+			// a partition can be used to carry demands of another partition".
+			// Against one instantiation these overfit (Figure 5a); against the
+			// R-average only robustly bad ones survive the pricing.
+			nv := b.model.P.NumVars()
+			seed := func(d []float64) {
+				x := make([]float64, nv)
+				for k, dv := range b.demands {
+					x[dv] = d[k]
 				}
-				seed(d)
+				if obj, sol, ok := polish(x); ok {
+					opts.Seeds = append(opts.Seeds, milp.Seed{Objective: obj, X: sol})
+				}
+			}
+			seed(constantVector(len(b.demands), pr.Input.MaxDemand))
+			for _, assign := range b.assignments {
+				for c := 0; c < pr.Partitions; c++ {
+					d := make([]float64, len(b.demands))
+					for k, part := range assign {
+						if part == c {
+							d[k] = pr.Input.MaxDemand
+						}
+					}
+					seed(d)
+				}
 			}
 		}
-	}
-	res, err := milp.Solve(b.model, opts)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Stats: statsOf(b.model), Solver: res}
+	var res *milp.Result
+	tm.Solve, err = obs.TimePhase(opts.Tracer, "solve", func() error {
+		var serr error
+		res, serr = milp.Solve(b.model, opts)
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Stats: statsOf(b.model), Timings: tm, Solver: res}
 	if res.X == nil {
 		return out, nil
 	}
@@ -226,7 +242,10 @@ func (pr *POPGapProblem) Solve(opts milp.Options) (*Result, error) {
 		}
 		out.Demands[k] = d
 	}
-	if err := pr.verify(out, b.assignments); err != nil {
+	out.Timings.Verify, err = obs.TimePhase(opts.Tracer, "verify", func() error {
+		return pr.verify(out, b.assignments)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -9,6 +9,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/mcf"
 	"repro/internal/milp"
+	"repro/internal/obs"
 )
 
 // POPSplitGapProblem searches for adversarial demands against POP *with
@@ -280,26 +281,41 @@ func (pr *POPSplitGapProblem) Stats() (ModelStats, error) {
 // Solve runs the white-box search and verifies against a direct evaluation
 // of split POP on the same slot plan.
 func (pr *POPSplitGapProblem) Solve(opts milp.Options) (*Result, error) {
-	b, err := pr.build()
+	var tm PhaseTimings
+	var b *popSplitBuild
+	var err error
+	tm.Build, err = obs.TimePhase(opts.Tracer, "build", func() error {
+		var berr error
+		b, berr = pr.build()
+		if berr != nil {
+			return berr
+		}
+		if opts.Polish == nil {
+			polish := pr.polisher(b)
+			opts.Polish = polish
+			x := make([]float64, b.model.P.NumVars())
+			for _, dv := range b.demands {
+				x[dv] = pr.Input.MaxDemand
+			}
+			if obj, sol, ok := polish(x); ok {
+				opts.Seeds = append(opts.Seeds, milp.Seed{Objective: obj, X: sol})
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if opts.Polish == nil {
-		polish := pr.polisher(b)
-		opts.Polish = polish
-		x := make([]float64, b.model.P.NumVars())
-		for _, dv := range b.demands {
-			x[dv] = pr.Input.MaxDemand
-		}
-		if obj, sol, ok := polish(x); ok {
-			opts.Seeds = append(opts.Seeds, milp.Seed{Objective: obj, X: sol})
-		}
-	}
-	res, err := milp.Solve(b.model, opts)
+	var res *milp.Result
+	tm.Solve, err = obs.TimePhase(opts.Tracer, "solve", func() error {
+		var serr error
+		res, serr = milp.Solve(b.model, opts)
+		return serr
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Stats: statsOf(b.model), Solver: res}
+	out := &Result{Stats: statsOf(b.model), Timings: tm, Solver: res}
 	if res.X == nil {
 		return out, nil
 	}
@@ -308,7 +324,10 @@ func (pr *POPSplitGapProblem) Solve(opts milp.Options) (*Result, error) {
 	for k, dv := range b.demands {
 		out.Demands[k] = math.Max(pr.Input.MinDemand, math.Min(pr.Input.MaxDemand, res.X[dv]))
 	}
-	if err := pr.verify(out, b.plan); err != nil {
+	out.Timings.Verify, err = obs.TimePhase(opts.Tracer, "verify", func() error {
+		return pr.verify(out, b.plan)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

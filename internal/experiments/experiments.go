@@ -23,6 +23,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/mcf"
 	"repro/internal/milp"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -39,6 +40,9 @@ type Config struct {
 	Paths int
 	// Seed drives every random choice (default 1).
 	Seed int64
+	// Tracer, if non-nil, receives structured events from every search the
+	// experiment runs (white-box B&B and black-box baselines alike).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +82,7 @@ func (c Config) searchOptions() milp.Options {
 		DepthFirst:   true,
 		StallWindow:  c.Budget,
 		StallImprove: 0.005,
+		Tracer:       c.Tracer,
 	}
 }
 
@@ -208,6 +213,7 @@ func Figure3(heuristic string, cfg Config) ([]Figure3Point, error) {
 		Sigma:     0.1 * topology.DefaultCapacity, // paper: 10% of link capacity
 		K:         100,
 		Budget:    cfg.Budget,
+		Tracer:    cfg.Tracer,
 	}
 	hcOpts := base
 	hcOpts.Rng = rand.New(rand.NewSource(cfg.Seed + 20))

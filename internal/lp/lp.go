@@ -243,6 +243,12 @@ type Solution struct {
 	// >= 0 and duals of GE rows are <= 0; for Minimize the signs flip.
 	Dual       []float64
 	Iterations int
+	// Phase1Iterations is how many of Iterations were spent restoring
+	// feasibility (phase 1); zero when the crash basis was already feasible.
+	Phase1Iterations int
+	// DegeneratePivots counts pivots that did not improve the phase
+	// objective — the solver's stalling indicator.
+	DegeneratePivots int
 }
 
 // String renders the solution compactly for debugging.

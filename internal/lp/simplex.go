@@ -5,6 +5,18 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Process-wide LP counters, bumped once per solve (not per pivot) so the
+// cost is three atomic adds regardless of problem size. They cover every
+// SolveWith call in the process: direct heuristic pricing, KKT relaxations,
+// and branch-and-bound nodes alike.
+var (
+	lpSolves     = obs.Default.Counter("lp_solves_total")
+	lpIters      = obs.Default.Counter("lp_iterations_total")
+	lpDegenerate = obs.Default.Counter("lp_degenerate_pivots_total")
 )
 
 // Tolerances for the simplex method. They are package-level constants rather
@@ -247,13 +259,36 @@ type tableau struct {
 	r        []float64 // reduced costs for the current phase
 	obj      float64   // current phase objective value
 	iters    int
+	phase1   int // pivots spent in phase 1
+	degen    int // pivots that left the phase objective unchanged
 	max      int
 	blocked  []bool    // columns forbidden from entering (artificials in phase 2)
 	deadline time.Time // zero means none
 }
 
-// SolveWith solves the problem with the given options.
+// solution constructs a Solution carrying the tableau's effort counters.
+func (t *tableau) solution(st Status) *Solution {
+	return &Solution{
+		Status:           st,
+		Iterations:       t.iters,
+		Phase1Iterations: t.phase1,
+		DegeneratePivots: t.degen,
+	}
+}
+
+// SolveWith solves the problem with the given options and records the solve
+// in the process-wide metrics registry.
 func (p *Problem) SolveWith(opts SolveOptions) (*Solution, error) {
+	sol, err := p.solveWith(opts)
+	if sol != nil {
+		lpSolves.Inc()
+		lpIters.Add(int64(sol.Iterations))
+		lpDegenerate.Add(int64(sol.DegeneratePivots))
+	}
+	return sol, err
+}
+
+func (p *Problem) solveWith(opts SolveOptions) (*Solution, error) {
 	s, err := buildStandard(p, opts.BoundOverride)
 	if err != nil {
 		return nil, err
@@ -342,11 +377,12 @@ func (p *Problem) SolveWith(opts SolveOptions) (*Solution, error) {
 		}
 		t.resetCosts(phase1)
 		st := t.run()
+		t.phase1 = t.iters
 		if st == StatusIterLimit {
-			return &Solution{Status: StatusIterLimit, Iterations: t.iters}, nil
+			return t.solution(StatusIterLimit), nil
 		}
 		if st != StatusOptimal || t.obj > feasTol {
-			return &Solution{Status: StatusInfeasible, Iterations: t.iters}, nil
+			return t.solution(StatusInfeasible), nil
 		}
 		// Drive remaining artificials out of the basis where possible.
 		for i := 0; i < s.m; i++ {
@@ -375,7 +411,7 @@ func (p *Problem) SolveWith(opts SolveOptions) (*Solution, error) {
 	t.resetCosts(s.c)
 	st := t.run()
 
-	sol := &Solution{Status: st, Iterations: t.iters}
+	sol := t.solution(st)
 	if st == StatusUnbounded {
 		return sol, nil
 	}
@@ -489,6 +525,7 @@ func (t *tableau) run() Status {
 			stall = 0
 		} else {
 			stall++
+			t.degen++
 		}
 	}
 }

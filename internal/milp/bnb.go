@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 const (
@@ -59,9 +60,12 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	if opts.AbsGapTol == 0 {
 		opts.AbsGapTol = 1e-6
 	}
-	logf := opts.Log
-	if logf == nil {
-		logf = func(string, ...any) {}
+	// The legacy Log callback becomes one more sink on the tracer, so both
+	// render the same event stream. A nil tracer with a nil Log stays nil,
+	// and every Emit below is then a single branch with no allocation.
+	tr := opts.Tracer
+	if opts.Log != nil {
+		tr = tr.With(obs.LogfSink{Logf: opts.Log})
 	}
 
 	res := &Result{Status: StatusNoIncumbent}
@@ -83,11 +87,34 @@ func Solve(m *Model, opts Options) (*Result, error) {
 
 	solveNode := func(nd *node) (*lp.Solution, error) {
 		res.LPSolves++
-		return m.P.SolveWith(lp.SolveOptions{
+		tr.Emit(obs.Event{Kind: obs.KindLPSolveStart, Nodes: res.Nodes})
+		sol, err := m.P.SolveWith(lp.SolveOptions{
 			BoundOverride: nd.overrides,
 			MaxIters:      opts.LPMaxIters,
 			Deadline:      deadline, // zero when no time limit is set
 		})
+		if sol != nil {
+			res.LPIters += sol.Iterations
+			tr.Emit(obs.Event{Kind: obs.KindLPSolveEnd, Nodes: res.Nodes,
+				Iters: sol.Iterations, Degenerate: sol.DegeneratePivots,
+				Status: sol.Status.String()})
+		}
+		return sol, err
+	}
+
+	// recordIncumbent appends a fully-populated trace point and emits the
+	// matching event. obj and bound are in the problem's own sense.
+	recordIncumbent := func(obj float64, source string) {
+		bound := dir * bestBound
+		res.Trace = append(res.Trace, TracePoint{
+			Elapsed:   time.Since(start),
+			Objective: obj,
+			Bound:     bound,
+			Nodes:     res.Nodes,
+			Source:    source,
+		})
+		tr.Emit(obs.Event{Kind: obs.KindIncumbent, Objective: obj, Bound: bound,
+			Nodes: res.Nodes, Source: source})
 	}
 
 	finish := func(status Status) *Result {
@@ -102,6 +129,22 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		} else {
 			res.Bound = dir * bestBound
 		}
+		// Close the trace with the terminal bound when it is tighter than the
+		// bound at the last improvement — this covers the early Target return
+		// (which tightens bestBound to the incumbent) and optimal closure, so
+		// a gap-versus-time plot always ends at the reported gap.
+		if incumbentX != nil && len(res.Trace) > 0 &&
+			res.Trace[len(res.Trace)-1].Bound != res.Bound {
+			res.Trace = append(res.Trace, TracePoint{
+				Elapsed:   res.Elapsed,
+				Objective: res.Objective,
+				Bound:     res.Bound,
+				Nodes:     res.Nodes,
+				Source:    SourceFinal,
+			})
+		}
+		tr.Emit(obs.Event{Kind: obs.KindSolveDone, Objective: res.Objective,
+			Bound: res.Bound, Nodes: res.Nodes, Status: status.String()})
 		return res
 	}
 
@@ -112,7 +155,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		if score := dir * sd.Objective; score > incumbent {
 			incumbent = score
 			incumbentX = append([]float64(nil), sd.X...)
-			res.Trace = append(res.Trace, TracePoint{Objective: sd.Objective})
+			recordIncumbent(sd.Objective, SourceSeed)
 			if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
 				infeasibleProven = false
 				return finish(StatusFeasible), nil
@@ -154,16 +197,21 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			improved := incumbent - windowIncumbent
 			rel := math.Abs(improved) / math.Max(1e-12, math.Abs(incumbent))
 			if incumbentX != nil && rel < opts.StallImprove {
-				logf("bnb: stalling (%.3g%% improvement in window), stopping", rel*100)
+				tr.Emit(obs.Event{Kind: obs.KindStall, Objective: rel,
+					Nodes: res.Nodes, Status: "stop"})
 				infeasibleProven = false
 				break
 			}
+			tr.Emit(obs.Event{Kind: obs.KindStall, Objective: rel,
+				Nodes: res.Nodes, Status: "continue"})
 			windowStart = time.Now()
 			windowIncumbent = incumbent
 		}
 
 		nd := heap.Pop(h).(*node)
 		if nd.bound <= incumbent+boundTol {
+			tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
+				Bound: dir * nd.bound, Detail: "bound"})
 			continue // pruned by bound
 		}
 		sol, err := solveNode(nd)
@@ -171,8 +219,12 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			return nil, err
 		}
 		res.Nodes++
+		tr.Emit(obs.Event{Kind: obs.KindNodeExplored, Nodes: res.Nodes,
+			Bound: dir * bestBound})
 		switch sol.Status {
 		case lp.StatusInfeasible:
+			tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
+				Detail: "infeasible"})
 			continue
 		case lp.StatusUnbounded:
 			// Unbounded relaxations are common here: KKT dual variables have
@@ -196,6 +248,8 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			x = sol.X
 		}
 		if score <= incumbent+boundTol {
+			tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
+				Bound: dir * score, Detail: "bound"})
 			continue
 		}
 
@@ -207,10 +261,9 @@ func Solve(m *Model, opts Options) (*Result, error) {
 				if pScore := dir * pObj; pScore > incumbent {
 					incumbent = pScore
 					incumbentX = append([]float64(nil), pSol...)
-					res.Trace = append(res.Trace, TracePoint{
-						Elapsed: time.Since(start), Objective: pObj, Nodes: res.Nodes,
-					})
-					logf("bnb: node %d polished incumbent %.6g", res.Nodes, pObj)
+					tr.Emit(obs.Event{Kind: obs.KindPolishAccept,
+						Objective: pObj, Nodes: res.Nodes})
+					recordIncumbent(pObj, SourcePolish)
 					if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
 						infeasibleProven = false
 						bestBound = math.Max(bestBound, incumbent)
@@ -219,7 +272,12 @@ func Solve(m *Model, opts Options) (*Result, error) {
 					if score <= incumbent+boundTol {
 						continue
 					}
+				} else {
+					tr.Emit(obs.Event{Kind: obs.KindPolishReject,
+						Objective: pObj, Nodes: res.Nodes})
 				}
+			} else {
+				tr.Emit(obs.Event{Kind: obs.KindPolishReject, Nodes: res.Nodes})
 			}
 		}
 
@@ -234,10 +292,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			if score > incumbent {
 				incumbent = score
 				incumbentX = append([]float64(nil), x...)
-				res.Trace = append(res.Trace, TracePoint{
-					Elapsed: time.Since(start), Objective: dir * incumbent, Nodes: res.Nodes,
-				})
-				logf("bnb: node %d new incumbent %.6g (bound %.6g)", res.Nodes, dir*incumbent, dir*bestBound)
+				recordIncumbent(dir*incumbent, SourceLeaf)
 				// Compare in score space so "at least as good" respects sense.
 				if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
 					infeasibleProven = false
@@ -258,10 +313,14 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			return &node{overrides: ov, bound: score, depth: nd.depth + 1}
 		}
 		if branchVar != -1 {
+			tr.Emit(obs.Event{Kind: obs.KindNodeBranched, Nodes: res.Nodes,
+				Detail: m.P.VarName(branchVar)})
 			heap.Push(h, mk(branchVar, 0, 0))
 			heap.Push(h, mk(branchVar, 1, 1))
 		} else {
 			pr := m.pairs[branchPair]
+			tr.Emit(obs.Event{Kind: obs.KindNodeBranched, Nodes: res.Nodes,
+				Detail: pr.Name})
 			heap.Push(h, mk(pr.U, 0, 0))
 			heap.Push(h, mk(pr.V, 0, 0))
 		}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // ComplPair is a complementarity constraint u*v = 0 between two variables
@@ -189,7 +190,13 @@ type Options struct {
 	// finder grounds the search: any relaxation's demand vector can be
 	// evaluated exactly with the direct OPT/heuristic solvers.
 	Polish func(x []float64) (obj float64, sol []float64, ok bool)
-	// Log, if non-nil, receives progress lines.
+	// Tracer, if non-nil, receives structured events (node explored/pruned/
+	// branched, LP solve start/end, incumbents, stall checks, polish
+	// outcomes, solve done). A nil tracer costs nothing in the hot loop.
+	Tracer *obs.Tracer
+	// Log, if non-nil, receives progress lines. It is kept as a legacy
+	// convenience: internally it is attached to the tracer as an
+	// obs.LogfSink, so Log and Tracer render the same event stream.
 	Log func(format string, args ...any)
 }
 
@@ -199,12 +206,26 @@ type Seed struct {
 	X         []float64
 }
 
+// Incumbent sources recorded in TracePoint.Source (aliases of the obs
+// package's constants so callers need not import obs).
+const (
+	SourceSeed   = obs.SourceSeed
+	SourcePolish = obs.SourcePolish
+	SourceLeaf   = obs.SourceLeaf
+	SourceFinal  = obs.SourceFinal
+)
+
 // TracePoint records an incumbent improvement — the raw series behind the
-// paper's gap-versus-time plots (Figure 3).
+// paper's gap-versus-time plots (Figure 3). Every point carries the elapsed
+// wall time and node count at which it was installed, the best proven bound
+// at that moment, and the source that produced it (seed, polish, leaf, or
+// the final bound tightening).
 type TracePoint struct {
 	Elapsed   time.Duration
 	Objective float64
+	Bound     float64 // best proven bound when the point was recorded (may be ±Inf early)
 	Nodes     int
+	Source    string // SourceSeed, SourcePolish, SourceLeaf, or SourceFinal
 }
 
 // Result is the outcome of a Solve.
@@ -215,8 +236,11 @@ type Result struct {
 	X         []float64
 	Nodes     int
 	LPSolves  int
+	LPIters   int // total simplex pivots across all node LP solves
 	Elapsed   time.Duration
-	// Trace lists every incumbent improvement in time order.
+	// Trace lists every incumbent improvement in time order, closed by a
+	// SourceFinal point when the solve's terminal bound is tighter than the
+	// bound at the last improvement.
 	Trace []TracePoint
 }
 

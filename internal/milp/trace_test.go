@@ -1,0 +1,187 @@
+package milp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/obs"
+)
+
+// knapsackModel builds a small maximize model whose search explores several
+// nodes and improves the incumbent more than once.
+func knapsackModel() (*lp.Problem, *Model) {
+	p := lp.NewProblem("trace-inv", lp.Maximize)
+	m := NewModel(p)
+	e := lp.NewExpr()
+	for i := 0; i < 6; i++ {
+		v := m.AddBinary("b")
+		p.SetObj(v, float64(i+1))
+		e = e.Add(v, 2)
+	}
+	p.AddConstraint("w", e, lp.LE, 7)
+	return p, m
+}
+
+func TestTraceInvariants(t *testing.T) {
+	_, m := knapsackModel()
+	col := &obs.Collector{}
+	res, err := Solve(m, Options{Tracer: obs.NewTracer(col)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// Every TracePoint is fully populated and the sequence is consistent.
+	for i, tp := range res.Trace {
+		if tp.Source == "" {
+			t.Fatalf("trace[%d] has no source tag", i)
+		}
+		if tp.Elapsed <= 0 {
+			t.Fatalf("trace[%d] has zero elapsed", i)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := res.Trace[i-1]
+		if tp.Elapsed < prev.Elapsed {
+			t.Fatalf("trace[%d] elapsed %v < previous %v", i, tp.Elapsed, prev.Elapsed)
+		}
+		if tp.Nodes < prev.Nodes {
+			t.Fatalf("trace[%d] nodes %d < previous %d", i, tp.Nodes, prev.Nodes)
+		}
+		if tp.Objective < prev.Objective-1e-9 {
+			t.Fatalf("trace[%d] objective %v below previous %v (maximize)", i, tp.Objective, prev.Objective)
+		}
+	}
+	// Event stream mirrors the result counters.
+	if got := col.Count(obs.KindLPSolveStart); got != res.LPSolves {
+		t.Fatalf("lp_solve_start events = %d, Result.LPSolves = %d", got, res.LPSolves)
+	}
+	if got := col.Count(obs.KindLPSolveEnd); got != res.LPSolves {
+		t.Fatalf("lp_solve_end events = %d, Result.LPSolves = %d", got, res.LPSolves)
+	}
+	iters := 0
+	for _, e := range col.Events() {
+		if e.Kind == obs.KindLPSolveEnd {
+			iters += e.Iters
+		}
+	}
+	if iters != res.LPIters {
+		t.Fatalf("sum of lp_solve_end iters = %d, Result.LPIters = %d", iters, res.LPIters)
+	}
+	if got := col.Count(obs.KindSolveDone); got != 1 {
+		t.Fatalf("solve_done events = %d, want 1", got)
+	}
+	var elapsed time.Duration
+	for i, e := range col.Events() {
+		if e.Elapsed < elapsed {
+			t.Fatalf("event %d elapsed %v < previous %v", i, e.Elapsed, elapsed)
+		}
+		elapsed = e.Elapsed
+	}
+	done := col.Events()[len(col.Events())-1]
+	if done.Kind != obs.KindSolveDone || done.Status != res.Status.String() {
+		t.Fatalf("last event %v status %q, want solve_done with %q",
+			done.Kind, done.Status, res.Status)
+	}
+}
+
+func TestSeedTracePointFullyPopulated(t *testing.T) {
+	// Regression: seeds used to be appended with zero Elapsed/Nodes and no
+	// provenance, so gap-versus-time plots started at a fake origin.
+	p := lp.NewProblem("seed-trace", lp.Maximize)
+	m := NewModel(p)
+	a := m.AddBinary("a")
+	p.SetObj(a, 3)
+	seedX := make([]float64, p.NumVars())
+	seedX[a] = 1
+	res, err := Solve(m, Options{MaxNodes: 0, TimeLimit: time.Nanosecond,
+		Seeds: []Seed{{Objective: 3, X: seedX}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("seed left no trace")
+	}
+	tp := res.Trace[0]
+	if tp.Source != SourceSeed {
+		t.Fatalf("seed trace source %q, want %q", tp.Source, SourceSeed)
+	}
+	if tp.Elapsed <= 0 {
+		t.Fatal("seed trace point has zero elapsed")
+	}
+}
+
+func TestTargetPathRecordsFinalBound(t *testing.T) {
+	// Regression: the early Target return used to skip the final bound
+	// tightening, leaving the last trace point with a stale (+Inf) bound.
+	p := lp.NewProblem("target-trace", lp.Maximize)
+	m := NewModel(p)
+	a := m.AddBinary("a")
+	p.SetObj(a, 1)
+	target := 0.5
+	seedX := make([]float64, p.NumVars())
+	seedX[a] = 1
+	res, err := Solve(m, Options{Target: &target, Seeds: []Seed{{Objective: 1, X: seedX}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if math.IsInf(last.Bound, 0) {
+		t.Fatalf("last trace bound is infinite: %v", last.Bound)
+	}
+	if last.Bound != res.Bound {
+		t.Fatalf("last trace bound %v != Result.Bound %v", last.Bound, res.Bound)
+	}
+	if last.Source != SourceFinal {
+		t.Fatalf("closing trace point source %q, want %q", last.Source, SourceFinal)
+	}
+}
+
+func TestTraceJSONLRoundTripThroughSolve(t *testing.T) {
+	_, m := knapsackModel()
+	var buf bytes.Buffer
+	w := obs.NewJSONLWriter(&buf)
+	col := &obs.Collector{}
+	res, err := Solve(m, Options{Tracer: obs.NewTracer(w, col)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(col.Events()) {
+		t.Fatalf("JSONL has %d records, collector saw %d events", len(recs), len(col.Events()))
+	}
+	prev := 0.0
+	incumbents := 0
+	for i, r := range recs {
+		if r.T < prev {
+			t.Fatalf("record %d time %v < previous %v", i, r.T, prev)
+		}
+		prev = r.T
+		if r.Kind == obs.KindIncumbent.String() {
+			incumbents++
+			if r.Source == "" {
+				t.Fatalf("record %d incumbent has no source", i)
+			}
+		}
+	}
+	want := 0
+	for _, tp := range res.Trace {
+		if tp.Source != SourceFinal {
+			want++
+		}
+	}
+	if incumbents != want {
+		t.Fatalf("JSONL has %d incumbent records, trace has %d non-final points", incumbents, want)
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// SetupCLI wires the conventional -trace/-metrics/-pprof command-line flag
+// values into a tracer. It returns a nil tracer when all three are off, so
+// instrumented hot loops pay nothing by default.
+//
+//   - tracePath != "": the file is created and every event is appended as a
+//     JSONL record.
+//   - metricsDump or any other flag: a MetricsSink feeding the Default
+//     registry is attached, and the finish func prints a Prometheus-style
+//     text dump to out when metricsDump is set.
+//   - pprofAddr != "": a debug HTTP server (net/http/pprof, expvar,
+//     /metrics) is started and its address printed to out.
+//
+// The returned finish func flushes and closes the trace file and prints the
+// metrics dump; call it once before exiting normally.
+func SetupCLI(tracePath string, metricsDump bool, pprofAddr string, out io.Writer) (*Tracer, func(), error) {
+	if out == nil {
+		out = os.Stdout
+	}
+	var sinks []Sink
+	var tw *JSONLWriter
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		tw = NewJSONLWriter(f)
+		sinks = append(sinks, tw)
+	}
+	if metricsDump || pprofAddr != "" || tracePath != "" {
+		sinks = append(sinks, NewMetricsSink(nil))
+	}
+	if pprofAddr != "" {
+		addr, err := ServeDebug(pprofAddr)
+		if err != nil {
+			if tw != nil {
+				tw.Close()
+			}
+			return nil, nil, err
+		}
+		fmt.Fprintf(out, "debug server: http://%s/debug/pprof/ /debug/vars /metrics\n", addr)
+	}
+	var tracer *Tracer
+	if len(sinks) > 0 {
+		tracer = NewTracer(sinks...)
+	}
+	finish := func() {
+		if tw != nil {
+			if err := tw.Close(); err != nil {
+				fmt.Fprintf(out, "trace: %v\n", err)
+			}
+		}
+		if metricsDump {
+			fmt.Fprintln(out, "--- metrics ---")
+			if err := Default.WriteProm(out); err != nil {
+				fmt.Fprintf(out, "metrics: %v\n", err)
+			}
+		}
+	}
+	return tracer, finish, nil
+}

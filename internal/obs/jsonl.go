@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Record is the JSONL wire form of an Event. It is a strict superset of
+// milp.TracePoint: every incumbent record carries elapsed time, objective,
+// bound, node count, and source, so a gap-versus-time plot (Figure 3) can be
+// read straight from a trace file. Non-finite objective/bound values (the
+// solver's "no incumbent yet" sentinels) are omitted rather than written,
+// because JSON has no encoding for infinities.
+type Record struct {
+	T          float64 `json:"t"` // seconds since tracer start
+	Kind       string  `json:"kind"`
+	Objective  float64 `json:"objective,omitempty"`
+	Bound      float64 `json:"bound,omitempty"`
+	Nodes      int     `json:"nodes,omitempty"`
+	Iters      int     `json:"iters,omitempty"`
+	Degenerate int     `json:"degenerate,omitempty"`
+	DurSec     float64 `json:"dur,omitempty"` // phase duration in seconds
+	Source     string  `json:"source,omitempty"`
+	Phase      string  `json:"phase,omitempty"`
+	Status     string  `json:"status,omitempty"`
+	Detail     string  `json:"detail,omitempty"`
+}
+
+// Event converts the record back to an in-memory event (inverse of
+// recordOf, up to float-to-duration rounding).
+func (r Record) Event() Event {
+	k := kindFromString(r.Kind)
+	return Event{
+		Kind:       k,
+		Elapsed:    time.Duration(r.T * float64(time.Second)),
+		Objective:  r.Objective,
+		Bound:      r.Bound,
+		Nodes:      r.Nodes,
+		Iters:      r.Iters,
+		Degenerate: r.Degenerate,
+		Dur:        time.Duration(r.DurSec * float64(time.Second)),
+		Source:     r.Source,
+		Phase:      r.Phase,
+		Status:     r.Status,
+		Detail:     r.Detail,
+	}
+}
+
+func kindFromString(s string) Kind {
+	for k := KindLPSolveStart; k <= KindSolveDone; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return KindSolveDone + 1 // out-of-range marker; String() says "unknown"
+}
+
+func recordOf(e Event) Record {
+	r := Record{
+		T:          e.Elapsed.Seconds(),
+		Kind:       e.Kind.String(),
+		Nodes:      e.Nodes,
+		Iters:      e.Iters,
+		Degenerate: e.Degenerate,
+		DurSec:     e.Dur.Seconds(),
+		Source:     e.Source,
+		Phase:      e.Phase,
+		Status:     e.Status,
+		Detail:     e.Detail,
+	}
+	if !math.IsInf(e.Objective, 0) && !math.IsNaN(e.Objective) {
+		r.Objective = e.Objective
+	}
+	if !math.IsInf(e.Bound, 0) && !math.IsNaN(e.Bound) {
+		r.Bound = e.Bound
+	}
+	return r
+}
+
+// JSONLWriter is a Sink that streams events as one JSON object per line.
+// Writes are buffered; call Flush (or Close) before reading the output.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+	err error
+}
+
+// NewJSONLWriter wraps w. If w is also an io.Closer, Close will close it.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	j := &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+func (j *JSONLWriter) Emit(e Event) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(recordOf(e))
+	}
+	j.mu.Unlock()
+}
+
+// Flush drains the buffer and returns the first error seen on any write.
+func (j *JSONLWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.bw.Flush()
+	return j.err
+}
+
+// Close flushes and, if the underlying writer is closable, closes it.
+func (j *JSONLWriter) Close() error {
+	ferr := j.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); ferr == nil {
+			ferr = cerr
+		}
+	}
+	return ferr
+}
+
+// ReadTrace parses a JSONL trace produced by JSONLWriter. It fails on the
+// first malformed line, reporting its line number.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

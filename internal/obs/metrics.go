@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. Safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value. Safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBounds are the histogram bucket upper bounds in seconds, spanning
+// 10 microseconds to 5 minutes — the range of everything from a single LP
+// solve to a full meta-optimization budget.
+var histBounds = [...]float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300,
+}
+
+// Histogram is a fixed-bucket timing histogram (seconds). Safe for
+// concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [len(histBounds) + 1]uint64 // last bucket is +Inf
+	count   uint64
+	sum     float64
+}
+
+// Observe records one value in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(histBounds[:], seconds)
+	h.mu.Lock()
+	h.buckets[i]++
+	h.count++
+	h.sum += seconds
+	h.mu.Unlock()
+}
+
+// ObserveDuration records one duration.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all observed values, in seconds.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts (Prometheus convention), the
+// observation count and the sum.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.buckets))
+	running := uint64(0)
+	for i, b := range h.buckets {
+		running += b
+		cum[i] = running
+	}
+	return cum, h.count, h.sum
+}
+
+// Registry holds named counters, gauges, and timing histograms. Metrics are
+// created lazily on first lookup; lookups are cheap but not free, so hot
+// paths should resolve their metrics once and hold the pointer.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry. The LP solver and the CLI tools'
+// metric sinks write here.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named timing histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot flattens every metric into name -> value: counters and gauges
+// directly, histograms as <name>_count and <name>_sum.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]float64, len(counters)+len(gauges)+2*len(hists))
+	for name, c := range counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range hists {
+		_, count, sum := h.snapshot()
+		out[name+"_count"] = float64(count)
+		out[name+"_sum"] = sum
+	}
+	return out
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format,
+// sorted by metric name for stable output.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	cNames := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		cNames = append(cNames, name)
+	}
+	gNames := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gNames = append(gNames, name)
+	}
+	hNames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hNames = append(hNames, name)
+	}
+	counters, gauges, hists := r.counters, r.gauges, r.hists
+	r.mu.Unlock()
+	sort.Strings(cNames)
+	sort.Strings(gNames)
+	sort.Strings(hNames)
+
+	for _, name := range cNames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gNames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(gauges[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range hNames {
+		cum, count, sum := hists[name].snapshot()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for i, bound := range histBounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, cum[len(cum)-1], name, formatFloat(sum), name, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the default registry as the expvar variable
+// "metaopt_metrics" (visible under /debug/vars). Idempotent.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("metaopt_metrics", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+}
+
+// MetricsSink translates events into registry metrics. Counters are
+// resolved at construction so per-event cost is one atomic add.
+type MetricsSink struct {
+	r *Registry
+
+	nodes, pruned, branched  *Counter
+	incumbents, bbImprove    *Counter
+	stalls                   *Counter
+	polishAcc, polishRej     *Counter
+	restarts, moves, rejects *Counter
+	solves                   *Counter
+}
+
+// NewMetricsSink returns a sink recording into r (Default when nil).
+func NewMetricsSink(r *Registry) *MetricsSink {
+	if r == nil {
+		r = Default
+	}
+	return &MetricsSink{
+		r:          r,
+		nodes:      r.Counter("bnb_nodes_total"),
+		pruned:     r.Counter("bnb_nodes_pruned_total"),
+		branched:   r.Counter("bnb_nodes_branched_total"),
+		incumbents: r.Counter("bnb_incumbents_total"),
+		bbImprove:  r.Counter("blackbox_improvements_total"),
+		stalls:     r.Counter("bnb_stall_checks_total"),
+		polishAcc:  r.Counter("bnb_polish_accepted_total"),
+		polishRej:  r.Counter("bnb_polish_rejected_total"),
+		restarts:   r.Counter("blackbox_restarts_total"),
+		moves:      r.Counter("blackbox_accepts_total"),
+		rejects:    r.Counter("blackbox_rejects_total"),
+		solves:     r.Counter("bnb_solves_total"),
+	}
+}
+
+// isBnBSource reports whether an incumbent source string belongs to the
+// branch-and-bound solver (as opposed to a black-box search method).
+func isBnBSource(s string) bool {
+	switch s {
+	case SourceSeed, SourcePolish, SourceLeaf, SourceFinal:
+		return true
+	}
+	return false
+}
+
+func (s *MetricsSink) Emit(e Event) {
+	switch e.Kind {
+	case KindNodeExplored:
+		s.nodes.Inc()
+	case KindNodePruned:
+		s.pruned.Inc()
+	case KindNodeBranched:
+		s.branched.Inc()
+	case KindIncumbent:
+		if isBnBSource(e.Source) {
+			s.incumbents.Inc()
+		} else {
+			s.bbImprove.Inc()
+		}
+	case KindStall:
+		s.stalls.Inc()
+	case KindPolishAccept:
+		s.polishAcc.Inc()
+	case KindPolishReject:
+		s.polishRej.Inc()
+	case KindRestart:
+		s.restarts.Inc()
+	case KindMoveAccept:
+		s.moves.Inc()
+	case KindMoveReject:
+		s.rejects.Inc()
+	case KindSolveDone:
+		s.solves.Inc()
+	case KindPhaseEnd:
+		s.r.Histogram("phase_" + e.Phase + "_seconds").Observe(e.Dur.Seconds())
+	}
+}

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Event{Kind: KindIncumbent, Objective: 1}) // must not panic
+	d, err := TimePhase(tr, "build", func() error { return nil })
+	if err != nil || d < 0 {
+		t.Fatalf("TimePhase on nil tracer: d=%v err=%v", d, err)
+	}
+	tr2 := tr.With(&Collector{})
+	if !tr2.Enabled() {
+		t.Fatal("With on nil tracer should yield an enabled tracer")
+	}
+}
+
+func TestDisabledEmitDoesNotAllocate(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: KindNodeExplored, Nodes: 1, Objective: 2.5})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer Emit allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestTracerStampsNondecreasingElapsed(t *testing.T) {
+	c := &Collector{}
+	tr := NewTracer(c)
+	for i := 0; i < 50; i++ {
+		tr.Emit(Event{Kind: KindNodeExplored, Nodes: i})
+	}
+	evs := c.Events()
+	if len(evs) != 50 {
+		t.Fatalf("got %d events, want 50", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Elapsed < evs[i-1].Elapsed {
+			t.Fatalf("Elapsed decreased at %d: %v < %v", i, evs[i].Elapsed, evs[i-1].Elapsed)
+		}
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	c := &Collector{}
+	tr := NewTracer(c, NewMetricsSink(NewRegistry()))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Emit(Event{Kind: KindNodeExplored, Nodes: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if n := c.Count(KindNodeExplored); n != 8*200 {
+		t.Fatalf("lost events: got %d, want %d", n, 8*200)
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lp_solves_total").Add(3)
+	r.Counter("lp_solves_total").Inc()
+	r.Gauge("best_gap").Set(1.25)
+	r.Histogram("phase_build_seconds").Observe(0.003)
+	r.Histogram("phase_build_seconds").Observe(2.0)
+
+	snap := r.Snapshot()
+	if snap["lp_solves_total"] != 4 {
+		t.Fatalf("counter = %v, want 4", snap["lp_solves_total"])
+	}
+	if snap["best_gap"] != 1.25 {
+		t.Fatalf("gauge = %v, want 1.25", snap["best_gap"])
+	}
+	if snap["phase_build_seconds_count"] != 2 {
+		t.Fatalf("hist count = %v, want 2", snap["phase_build_seconds_count"])
+	}
+	if math.Abs(snap["phase_build_seconds_sum"]-2.003) > 1e-12 {
+		t.Fatalf("hist sum = %v, want 2.003", snap["phase_build_seconds_sum"])
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lp_solves_total counter",
+		"lp_solves_total 4",
+		"# TYPE best_gap gauge",
+		"best_gap 1.25",
+		"# TYPE phase_build_seconds histogram",
+		`phase_build_seconds_bucket{le="+Inf"} 2`,
+		"phase_build_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom dump missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0.0001) // bucket le=1e-4
+	h.Observe(0.02)   // bucket le=0.025
+	h.Observe(1000)   // +Inf bucket
+	cum, count, sum := h.snapshot()
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+	if got := cum[len(cum)-1]; got != 3 {
+		t.Fatalf("+Inf cumulative = %d, want 3", got)
+	}
+	if sum < 1000 {
+		t.Fatalf("sum = %v", sum)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts not monotone at %d", i)
+		}
+	}
+}
+
+func TestMetricsSinkEventMapping(t *testing.T) {
+	r := NewRegistry()
+	s := NewMetricsSink(r)
+	tr := NewTracer(s)
+	tr.Emit(Event{Kind: KindNodeExplored})
+	tr.Emit(Event{Kind: KindNodeExplored})
+	tr.Emit(Event{Kind: KindNodePruned})
+	tr.Emit(Event{Kind: KindNodeBranched})
+	tr.Emit(Event{Kind: KindIncumbent, Source: SourceSeed})
+	tr.Emit(Event{Kind: KindIncumbent, Source: SourceLeaf})
+	tr.Emit(Event{Kind: KindIncumbent, Source: "hill"})
+	tr.Emit(Event{Kind: KindPolishAccept, Source: SourcePolish})
+	tr.Emit(Event{Kind: KindRestart, Source: "hill"})
+	tr.Emit(Event{Kind: KindMoveAccept})
+	tr.Emit(Event{Kind: KindMoveReject})
+	tr.Emit(Event{Kind: KindStall, Status: "continue"})
+	tr.Emit(Event{Kind: KindSolveDone, Status: "optimal"})
+	tr.Emit(Event{Kind: KindPhaseEnd, Phase: "solve", Dur: 5 * time.Millisecond})
+
+	snap := r.Snapshot()
+	want := map[string]float64{
+		"bnb_nodes_total":             2,
+		"bnb_nodes_pruned_total":      1,
+		"bnb_nodes_branched_total":    1,
+		"bnb_incumbents_total":        2,
+		"blackbox_improvements_total": 1,
+		"bnb_polish_accepted_total":   1,
+		"blackbox_restarts_total":     1,
+		"blackbox_accepts_total":      1,
+		"blackbox_rejects_total":      1,
+		"bnb_stall_checks_total":      1,
+		"bnb_solves_total":            1,
+		"phase_solve_seconds_count":   1,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("%s = %v, want %v", k, snap[k], v)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	tr := NewTracer(w)
+	tr.Emit(Event{Kind: KindIncumbent, Objective: 12.5, Bound: 20, Nodes: 7, Source: SourceLeaf})
+	tr.Emit(Event{Kind: KindLPSolveEnd, Iters: 42, Degenerate: 3, Status: "optimal"})
+	tr.Emit(Event{Kind: KindPhaseEnd, Phase: "verify", Dur: 1500 * time.Microsecond})
+	tr.Emit(Event{Kind: KindIncumbent, Objective: math.Inf(-1), Bound: math.Inf(1), Source: SourceSeed})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	if recs[0].Kind != "incumbent" || recs[0].Objective != 12.5 || recs[0].Bound != 20 ||
+		recs[0].Nodes != 7 || recs[0].Source != "leaf" {
+		t.Fatalf("record 0 mismatch: %+v", recs[0])
+	}
+	if recs[1].Iters != 42 || recs[1].Degenerate != 3 || recs[1].Status != "optimal" {
+		t.Fatalf("record 1 mismatch: %+v", recs[1])
+	}
+	if recs[2].Phase != "verify" || recs[2].DurSec <= 0 {
+		t.Fatalf("record 2 mismatch: %+v", recs[2])
+	}
+	// Infinities must be sanitized away, not break encoding.
+	if recs[3].Objective != 0 || recs[3].Bound != 0 {
+		t.Fatalf("infinite values not omitted: %+v", recs[3])
+	}
+	// T nondecreasing across the file.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].T < recs[i-1].T {
+			t.Fatalf("t decreased at record %d", i)
+		}
+	}
+	// Round-trip back to events preserves kind.
+	if recs[1].Event().Kind != KindLPSolveEnd {
+		t.Fatalf("Event() kind mismatch: %v", recs[1].Event().Kind)
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	in := strings.NewReader("{\"t\":0,\"kind\":\"incumbent\"}\nnot json\n")
+	if _, err := ReadTrace(in); err == nil {
+		t.Fatal("expected error on malformed line")
+	}
+}
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for k := KindLPSolveStart; k <= KindSolveDone; k++ {
+		s := k.String()
+		if s == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if got := kindFromString(s); got != k {
+			t.Fatalf("kindFromString(%q) = %v, want %v", s, got, k)
+		}
+	}
+}
+
+func TestTimePhaseEmitsStartEnd(t *testing.T) {
+	c := &Collector{}
+	tr := NewTracer(c)
+	d, err := TimePhase(tr, "build", func() error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < time.Millisecond {
+		t.Fatalf("duration too small: %v", d)
+	}
+	evs := c.Events()
+	if len(evs) != 2 || evs[0].Kind != KindPhaseStart || evs[1].Kind != KindPhaseEnd {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+	if evs[1].Dur < time.Millisecond {
+		t.Fatalf("PhaseEnd Dur too small: %v", evs[1].Dur)
+	}
+	if evs[1].Phase != "build" {
+		t.Fatalf("phase name = %q", evs[1].Phase)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	PublishExpvar()
+	PublishExpvar() // second call must not panic
+}
+
+func TestLogfSinkRendersIncumbent(t *testing.T) {
+	var lines []string
+	tr := NewTracer(LogfSink{Logf: func(f string, a ...any) {
+		lines = append(lines, f)
+	}})
+	tr.Emit(Event{Kind: KindIncumbent, Objective: 1, Source: SourceLeaf})
+	tr.Emit(Event{Kind: KindNodeExplored}) // dropped: high-frequency
+	tr.Emit(Event{Kind: KindStall, Status: "stop", Objective: 0.001})
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(lines))
+	}
+}
