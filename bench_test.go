@@ -214,6 +214,60 @@ func BenchmarkAblationPOPTail(b *testing.B) {
 	}
 }
 
+// parallelMetaProblem builds a DP gap search big enough for worker-level
+// parallelism to pay off: B4 with 12 demand pairs yields 70+ SOS pairs, so
+// each wave of node relaxations carries ~40ms of simplex work. Batch is
+// pinned so Workers=1 and Workers=4 explore the identical tree (the speedup
+// is pure wall-clock, not a different search), and MaxNodes bounds the run.
+// The speedup needs real cores: with GOMAXPROCS=1 the two benches tie.
+func parallelMetaProblem(b *testing.B) *core.DPGapProblem {
+	b.Helper()
+	g := topology.B4()
+	set := demand.RandomPairs(g, 12, rand.New(rand.NewSource(7)))
+	inst, err := mcf.NewInstance(g, set, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := &core.DPGapProblem{
+		Inst: inst, Threshold: 5,
+		Input: core.InputConstraints{MaxDemand: 100},
+	}
+	st, err := pr.Stats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.SOSPairs < 64 {
+		b.Fatalf("meta problem too small for the parallel bench: %d SOS pairs, want >= 64", st.SOSPairs)
+	}
+	return pr
+}
+
+func runParallelBench(b *testing.B, workers int) {
+	pr := parallelMetaProblem(b)
+	opts := milp.Options{Workers: workers, Batch: 8, MaxNodes: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pr.Solve(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Solver.Nodes == 0 {
+			b.Fatal("search explored no nodes")
+		}
+	}
+}
+
+// BenchmarkParallelBnBWorkers1 is the serial reference for the wave-based
+// parallel branch and bound: same pinned Batch (hence the same tree) as the
+// 4-worker run below, one relaxation at a time.
+func BenchmarkParallelBnBWorkers1(b *testing.B) { runParallelBench(b, 1) }
+
+// BenchmarkParallelBnBWorkers4 runs the identical search with 4 workers
+// solving each wave's relaxations concurrently. Compare ns/op against
+// BenchmarkParallelBnBWorkers1 for the parallel speedup (>= 1.8x expected on
+// 4 cores; see EXPERIMENTS.md).
+func BenchmarkParallelBnBWorkers4(b *testing.B) { runParallelBench(b, 4) }
+
 // --- substrate microbenchmarks ---
 
 func b4Instance(b *testing.B) *mcf.Instance {

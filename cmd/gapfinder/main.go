@@ -15,6 +15,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -40,6 +41,7 @@ func main() {
 	instantiations := flag.Int("instantiations", 3, "POP random instantiations averaged over")
 	maxDemand := flag.Float64("maxdemand", 100, "upper bound on each demand")
 	budget := flag.Duration("budget", 10*time.Second, "search budget")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers: node relaxations (whitebox) or restarts (blackbox); 1 = sequential")
 	seed := flag.Int64("seed", 1, "random seed")
 	target := flag.Float64("target", 0, "stop at the first input with gap >= target (whitebox only; 0 = off)")
 	diverse := flag.Int("diverse", 1, "number of diverse inputs to find (whitebox only)")
@@ -92,10 +94,10 @@ func main() {
 	switch *method {
 	case "whitebox":
 		runWhitebox(inst, set, *heuristic, *threshold, *partitions, *instantiations,
-			*maxDemand, *budget, *seed, *target, *diverse, *quiet, tracer)
+			*maxDemand, *budget, *seed, *target, *diverse, *quiet, *workers, tracer)
 	case "hillclimb", "anneal":
 		runBlackbox(inst, set, *heuristic, *method, *threshold, *partitions, *instantiations,
-			*maxDemand, *budget, *seed, tracer)
+			*maxDemand, *budget, *seed, *workers, tracer)
 	default:
 		log.Fatalf("unknown method %q", *method)
 	}
@@ -104,7 +106,7 @@ func main() {
 func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic string,
 	threshold float64, partitions, instantiations int, maxDemand float64,
 	budget time.Duration, seed int64, target float64, diverse int, quiet bool,
-	tracer *obs.Tracer) {
+	workers int, tracer *obs.Tracer) {
 
 	input := metaopt.InputConstraints{MaxDemand: maxDemand}
 	opts := milp.Options{
@@ -113,6 +115,7 @@ func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic strin
 		StallWindow:  budget / 3,
 		StallImprove: 0.005,
 		Tracer:       tracer,
+		Workers:      workers,
 	}
 	if target > 0 {
 		opts.Target = &target
@@ -172,7 +175,7 @@ func printSummary(res *metaopt.GapResult) {
 
 func runBlackbox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic, method string,
 	threshold float64, partitions, instantiations int, maxDemand float64,
-	budget time.Duration, seed int64, tracer *obs.Tracer) {
+	budget time.Duration, seed int64, workers int, tracer *obs.Tracer) {
 
 	var gapFn blackbox.GapFunc
 	switch heuristic {
@@ -191,7 +194,7 @@ func runBlackbox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic, meth
 	base := blackbox.Options{
 		MaxDemand: maxDemand, Sigma: maxDemand / 10, K: 100,
 		Budget: budget, Rng: rand.New(rand.NewSource(seed)),
-		Tracer: tracer,
+		Tracer: tracer, Workers: workers,
 	}
 	var res *blackbox.Result
 	var err error

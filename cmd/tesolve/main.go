@@ -14,6 +14,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
 
 	metaopt "repro"
 	"repro/internal/obs"
@@ -35,6 +37,7 @@ func main() {
 	splitThreshold := flag.Float64("splitthreshold", 20, "client-split threshold")
 	maxSplits := flag.Int("maxsplits", 2, "max per-client splits")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "run the OPT/DP/POP solves concurrently when > 1")
 	verbose := flag.Bool("v", false, "print per-link loads")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
 	metricsDump := flag.Bool("metrics", false, "print a Prometheus-style metrics dump on exit")
@@ -68,45 +71,70 @@ func main() {
 	fmt.Printf("%s: %d nodes, %d links; %d demands totaling %.1f\n\n",
 		g.Name(), g.NumNodes(), g.NumEdges(), set.Len(), set.Total())
 
-	var opt *metaopt.Flow
-	if _, err := obs.TimePhase(tracer, "opt", func() error {
-		var serr error
-		opt, serr = metaopt.SolveMaxFlow(inst)
-		return serr
-	}); err != nil {
-		log.Fatal(err)
+	// The three solves are independent (POP owns the only live rand.Rand and
+	// mcf solves never mutate the instance), so -workers > 1 runs them
+	// concurrently and the results are printed afterwards in the usual order.
+	var (
+		opt, dp, pop  *metaopt.Flow
+		dpFeasible    bool
+		optErr, dpErr error
+		popErr        error
+	)
+	popOpts := metaopt.POPOptions{
+		Partitions: *partitions, Rng: rng,
+		ClientSplit: *clientSplit, SplitThreshold: *splitThreshold, MaxSplits: *maxSplits,
+	}
+	solveOpt := func() {
+		_, optErr = obs.TimePhase(tracer, "opt", func() error {
+			var serr error
+			opt, serr = metaopt.SolveMaxFlow(inst)
+			return serr
+		})
+	}
+	solveDP := func() {
+		if dpFeasible = metaopt.DemandPinningFeasible(inst, *threshold); !dpFeasible {
+			return
+		}
+		_, dpErr = obs.TimePhase(tracer, "dp", func() error {
+			var serr error
+			dp, serr = metaopt.SolveDemandPinning(inst, *threshold)
+			return serr
+		})
+	}
+	solvePOP := func() {
+		_, popErr = obs.TimePhase(tracer, "pop", func() error {
+			var serr error
+			pop, serr = metaopt.SolvePOP(inst, popOpts)
+			return serr
+		})
+	}
+	if *workers > 1 {
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() { defer wg.Done(); solveOpt() }()
+		go func() { defer wg.Done(); solveDP() }()
+		go func() { defer wg.Done(); solvePOP() }()
+		wg.Wait()
+	} else {
+		solveOpt()
+		solveDP()
+		solvePOP()
+	}
+	for _, err := range []error{optErr, dpErr, popErr} {
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("%-22s total=%9.2f  (%.1f%% of demand)\n", "OPT (max total flow)",
 		opt.Total, 100*opt.Total/set.Total())
 
-	if metaopt.DemandPinningFeasible(inst, *threshold) {
-		var dp *metaopt.Flow
-		if _, err := obs.TimePhase(tracer, "dp", func() error {
-			var serr error
-			dp, serr = metaopt.SolveDemandPinning(inst, *threshold)
-			return serr
-		}); err != nil {
-			log.Fatal(err)
-		}
+	if dpFeasible {
 		fmt.Printf("%-22s total=%9.2f  gap=%8.2f (%.2f%% of OPT)\n",
 			fmt.Sprintf("DP (threshold %.1f)", *threshold),
 			dp.Total, opt.Total-dp.Total, 100*(opt.Total-dp.Total)/opt.Total)
 	} else {
 		fmt.Printf("%-22s INFEASIBLE: pinned demands oversubscribe a link (Section 5)\n",
 			fmt.Sprintf("DP (threshold %.1f)", *threshold))
-	}
-
-	popOpts := metaopt.POPOptions{
-		Partitions: *partitions, Rng: rng,
-		ClientSplit: *clientSplit, SplitThreshold: *splitThreshold, MaxSplits: *maxSplits,
-	}
-	var pop *metaopt.Flow
-	if _, err := obs.TimePhase(tracer, "pop", func() error {
-		var serr error
-		pop, serr = metaopt.SolvePOP(inst, popOpts)
-		return serr
-	}); err != nil {
-		log.Fatal(err)
 	}
 	label := fmt.Sprintf("POP (%d partitions)", *partitions)
 	if *clientSplit {

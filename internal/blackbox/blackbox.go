@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mcf"
@@ -122,8 +125,18 @@ type Options struct {
 	// Budget is the wall-clock latency budget; 0 means no limit (Restarts
 	// must then be positive).
 	Budget time.Duration
-	// Rng is required, keeping every search reproducible.
+	// Rng is required, keeping every search reproducible. With Workers > 1
+	// it is used only to derive one child seed per restart (drawn in restart
+	// order before any restart runs), so it must not be shared with a
+	// concurrently running consumer.
 	Rng *rand.Rand
+	// Workers runs restarts concurrently on this many goroutines; 0 or 1 is
+	// the classic sequential search. Each restart gets its own rand.Rand
+	// seeded from Rng in restart order, so with a fixed Restarts count the
+	// returned Gap, Demands and Evals are identical for every Workers value
+	// (the restarts are independent; only wall clock changes). Under a pure
+	// Budget the restart count itself depends on timing, parallel or not.
+	Workers int
 	// Tracer, if non-nil, receives structured events: a restart event per
 	// random restart, move_accepted/move_rejected per neighbor evaluation,
 	// and incumbent events (Source = "hill" or "anneal") whenever the best
@@ -160,18 +173,22 @@ func (o *Options) clamp(x float64) float64 {
 	return x
 }
 
-func (o *Options) randomStart(n int) []float64 {
+// randomStart and neighbor draw from an explicit rng so each restart can own
+// an independent stream: sequential searches pass o.Rng (preserving the
+// historical draw sequence per seed), parallel restarts pass their per-restart
+// child rng.
+func (o *Options) randomStart(rng *rand.Rand, n int) []float64 {
 	d := make([]float64, n)
 	for i := range d {
-		d[i] = o.MinDemand + o.Rng.Float64()*(o.MaxDemand-o.MinDemand)
+		d[i] = o.MinDemand + rng.Float64()*(o.MaxDemand-o.MinDemand)
 	}
 	return d
 }
 
-func (o *Options) neighbor(d []float64) []float64 {
+func (o *Options) neighbor(rng *rand.Rand, d []float64) []float64 {
 	out := make([]float64, len(d))
 	for i := range d {
-		out[i] = o.clamp(d[i] + o.Rng.NormFloat64()*o.Sigma)
+		out[i] = o.clamp(d[i] + rng.NormFloat64()*o.Sigma)
 	}
 	return out
 }
@@ -232,43 +249,163 @@ func (s *search) result() *Result {
 	}
 }
 
-// HillClimb implements Algorithm 1 with random restarts.
+// hillRestart runs one random restart of Algorithm 1 on s, drawing from rng.
+func hillRestart(s *search, gap GapFunc, n int, rng *rand.Rand) error {
+	opts := s.opts
+	s.restarted()
+	d := opts.randomStart(rng, n)
+	g, err := gap(d)
+	if err != nil {
+		return err
+	}
+	s.observe(d, g)
+	for k := 0; k < opts.K && !s.expired(); k++ {
+		aux := opts.neighbor(rng, d)
+		ag, err := gap(aux)
+		if err != nil {
+			return err
+		}
+		s.observe(aux, ag)
+		if ag > g {
+			d, g = aux, ag
+			k = -1 // Algorithm 1: reset patience on improvement
+			s.moved(true, ag)
+		} else {
+			s.moved(false, ag)
+		}
+	}
+	return nil
+}
+
+// HillClimb implements Algorithm 1 with random restarts. Options.Workers > 1
+// runs the restarts concurrently (see Options.Workers for the determinism
+// contract).
 func HillClimb(gap GapFunc, n int, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	s := newSearch(&opts, "hill")
-	for restart := 0; opts.Restarts <= 0 || restart < opts.Restarts; restart++ {
+	restart := func(s *search, rng *rand.Rand) error { return hillRestart(s, gap, n, rng) }
+	if opts.Workers > 1 {
+		return parallelRestarts(&opts, "hill", restart)
+	}
+	return serialRestarts(&opts, "hill", restart)
+}
+
+// serialRestarts is the classic loop: every restart draws from the caller's
+// Rng in sequence, so per-seed behavior matches the original single-threaded
+// implementation exactly.
+func serialRestarts(o *Options, method string, body func(*search, *rand.Rand) error) (*Result, error) {
+	s := newSearch(o, method)
+	for restart := 0; o.Restarts <= 0 || restart < o.Restarts; restart++ {
 		if s.expired() {
 			break
 		}
-		s.restarted()
-		d := opts.randomStart(n)
-		g, err := gap(d)
-		if err != nil {
+		if err := body(s, o.Rng); err != nil {
 			return nil, err
-		}
-		s.observe(d, g)
-		for k := 0; k < opts.K && !s.expired(); k++ {
-			aux := opts.neighbor(d)
-			ag, err := gap(aux)
-			if err != nil {
-				return nil, err
-			}
-			s.observe(aux, ag)
-			if ag > g {
-				d, g = aux, ag
-				k = -1 // Algorithm 1: reset patience on improvement
-				s.moved(true, ag)
-			} else {
-				s.moved(false, ag)
-			}
-		}
-		if opts.Budget <= 0 && opts.Restarts <= 0 {
-			break
 		}
 	}
 	return s.result(), nil
+}
+
+// parallelRestarts fans the restarts out over o.Workers goroutines. Each
+// restart index i gets a child rand.Rand seeded by the i-th draw from o.Rng
+// and a private child search (own best/evals/trace, shared clock and tracer);
+// completed children are merged in restart order, so for a fixed Restarts
+// count the merged result is a pure function of the seed — the worker count
+// and the goroutine schedule never reach the answer.
+func parallelRestarts(o *Options, method string, body func(*search, *rand.Rand) error) (*Result, error) {
+	root := newSearch(o, method)
+	// Child seeds are the ONLY draws from the shared Rng, made in restart
+	// order. With a restart cap they are all drawn up front; in pure budget
+	// mode they are drawn lazily (still in index order) under the mutex.
+	var seedMu sync.Mutex
+	var seeds []int64
+	if o.Restarts > 0 {
+		seeds = make([]int64, o.Restarts)
+		for i := range seeds {
+			seeds[i] = o.Rng.Int63()
+		}
+	}
+	seedFor := func(i int) int64 {
+		seedMu.Lock()
+		defer seedMu.Unlock()
+		for len(seeds) <= i {
+			seeds = append(seeds, o.Rng.Int63())
+		}
+		return seeds[i]
+	}
+
+	workers := o.Workers
+	if o.Restarts > 0 && workers > o.Restarts {
+		workers = o.Restarts
+	}
+	type child struct {
+		idx int
+		s   *search
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		done     []child
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !root.expired() {
+				i := int(next.Add(1)) - 1
+				if o.Restarts > 0 && i >= o.Restarts {
+					return
+				}
+				cs := &search{opts: o, method: method, tr: o.Tracer,
+					start: root.start, bestGap: math.Inf(-1)}
+				err := body(cs, rand.New(rand.NewSource(seedFor(i))))
+				mu.Lock()
+				done = append(done, child{idx: i, s: cs})
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Merge in restart order: the best gap wins with ties broken by the
+	// lowest restart index (the serial loop's "first found" rule), evals sum.
+	sort.Slice(done, func(i, j int) bool { return done[i].idx < done[j].idx })
+	for _, c := range done {
+		root.evals += c.s.evals
+		if c.s.best != nil && c.s.bestGap > root.bestGap {
+			root.bestGap = c.s.bestGap
+			root.best = c.s.best
+		}
+	}
+	// Stitch the per-restart traces into one monotone best-so-far series on
+	// the shared clock. TracePoint.Evals stays the recording child's local
+	// count (a global count would impose an ordering on concurrent evals
+	// that never existed).
+	var merged []TracePoint
+	for _, c := range done {
+		merged = append(merged, c.s.trace...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Elapsed < merged[j].Elapsed })
+	bestSoFar := math.Inf(-1)
+	for _, tp := range merged {
+		if tp.Gap > bestSoFar {
+			bestSoFar = tp.Gap
+			root.trace = append(root.trace, tp)
+		}
+	}
+	return root.result(), nil
 }
 
 // SAOptions extends Options with the annealing schedule: temperature starts
@@ -291,57 +428,58 @@ func (o *SAOptions) validate() error {
 	return nil
 }
 
+// saRestart runs one annealed restart on s, drawing from rng.
+func saRestart(s *search, gap GapFunc, n int, opts *SAOptions, rng *rand.Rand) error {
+	s.restarted()
+	d := opts.randomStart(rng, n)
+	g, err := gap(d)
+	if err != nil {
+		return err
+	}
+	s.observe(d, g)
+	temp := opts.T0
+	sinceImprove := 0
+	for iter := 0; sinceImprove < opts.K && !s.expired(); iter++ {
+		if iter > 0 && iter%opts.KP == 0 {
+			temp *= opts.Gamma
+		}
+		aux := opts.neighbor(rng, d)
+		ag, err := gap(aux)
+		if err != nil {
+			return err
+		}
+		s.observe(aux, ag)
+		switch {
+		case ag > g:
+			d, g = aux, ag
+			sinceImprove = 0
+			s.moved(true, ag)
+		default:
+			sinceImprove++
+			// Accept downhill moves with annealing probability. A -Inf
+			// gap (infeasible heuristic input) gives probability zero.
+			if p := math.Exp((ag - g) / temp); rng.Float64() < p {
+				d, g = aux, ag
+				s.moved(true, ag)
+			} else {
+				s.moved(false, ag)
+			}
+		}
+	}
+	return nil
+}
+
 // SimulatedAnneal implements the annealed variant of Section 3.4: a
 // non-improving neighbor is still accepted with probability
-// exp((gap_aux - gap)/t).
+// exp((gap_aux - gap)/t). Options.Workers > 1 runs the restarts concurrently
+// (see Options.Workers for the determinism contract).
 func SimulatedAnneal(gap GapFunc, n int, opts SAOptions) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	s := newSearch(&opts.Options, "anneal")
-	for restart := 0; opts.Restarts <= 0 || restart < opts.Restarts; restart++ {
-		if s.expired() {
-			break
-		}
-		s.restarted()
-		d := opts.randomStart(n)
-		g, err := gap(d)
-		if err != nil {
-			return nil, err
-		}
-		s.observe(d, g)
-		temp := opts.T0
-		sinceImprove := 0
-		for iter := 0; sinceImprove < opts.K && !s.expired(); iter++ {
-			if iter > 0 && iter%opts.KP == 0 {
-				temp *= opts.Gamma
-			}
-			aux := opts.neighbor(d)
-			ag, err := gap(aux)
-			if err != nil {
-				return nil, err
-			}
-			s.observe(aux, ag)
-			switch {
-			case ag > g:
-				d, g = aux, ag
-				sinceImprove = 0
-				s.moved(true, ag)
-			default:
-				sinceImprove++
-				// Accept downhill moves with annealing probability. A -Inf
-				// gap (infeasible heuristic input) gives probability zero.
-				if p := math.Exp((ag - g) / temp); opts.Rng.Float64() < p {
-					d, g = aux, ag
-					s.moved(true, ag)
-				} else {
-					s.moved(false, ag)
-				}
-			}
-		}
-		if opts.Budget <= 0 && opts.Restarts <= 0 {
-			break
-		}
+	restart := func(s *search, rng *rand.Rand) error { return saRestart(s, gap, n, &opts, rng) }
+	if opts.Workers > 1 {
+		return parallelRestarts(&opts.Options, "anneal", restart)
 	}
-	return s.result(), nil
+	return serialRestarts(&opts.Options, "anneal", restart)
 }

@@ -169,7 +169,7 @@ func TestNeighborRespectsBox(t *testing.T) {
 	o.MinDemand = 2
 	d := []float64{2, 100, 50}
 	for i := 0; i < 50; i++ {
-		nb := o.neighbor(d)
+		nb := o.neighbor(o.Rng, d)
 		for _, x := range nb {
 			if x < 2 || x > 100 {
 				t.Fatalf("neighbor %v out of box", x)

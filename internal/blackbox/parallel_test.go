@@ -1,0 +1,160 @@
+package blackbox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// parallelOpts mirrors defaultOpts but with restart-level parallelism on.
+func parallelOpts(seed int64, workers int) Options {
+	o := defaultOpts(seed)
+	o.Workers = workers
+	return o
+}
+
+// TestParallelRestartsReproducible checks the Workers determinism contract:
+// with a fixed Restarts count, the same seed must give identical Gap, Evals
+// and Demands on repeated 4-worker runs AND across worker counts — the child
+// restarts are seeded in restart order, so the schedule never reaches the
+// answer. Run under -race in CI, this is also the no-data-race assertion for
+// a 4-worker search.
+func TestParallelRestartsReproducible(t *testing.T) {
+	inst := figure1Instance(t)
+	gapFn := DPGap(inst, 50)
+	var ref *Result
+	for _, workers := range []int{2, 4, 4, 8} {
+		res, err := HillClimb(gapFn, 3, parallelOpts(9, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Gap <= 0 || res.Gap > 100+1e-6 {
+			t.Fatalf("workers=%d: gap %v out of range", workers, res.Gap)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Gap != ref.Gap || res.Evals != ref.Evals {
+			t.Fatalf("workers=%d diverged: gap %v evals %d, want gap %v evals %d",
+				workers, res.Gap, res.Evals, ref.Gap, ref.Evals)
+		}
+		for i := range ref.Demands {
+			if res.Demands[i] != ref.Demands[i] {
+				t.Fatalf("workers=%d: demand %d diverged: %v vs %v",
+					workers, i, res.Demands[i], ref.Demands[i])
+			}
+		}
+	}
+}
+
+// TestParallelSimulatedAnnealReproducible covers the annealed variant's
+// parallel path, including its per-restart acceptance draws.
+func TestParallelSimulatedAnnealReproducible(t *testing.T) {
+	inst := figure1Instance(t)
+	gapFn := DPGap(inst, 50)
+	mk := func(workers int) SAOptions {
+		return SAOptions{Options: parallelOpts(13, workers), T0: 500, Gamma: 0.1, KP: 100}
+	}
+	a, err := SimulatedAnneal(gapFn, 3, mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulatedAnneal(gapFn, 3, mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Gap != b.Gap || a.Evals != b.Evals {
+		t.Fatalf("SA diverged across worker counts: %v/%d vs %v/%d", a.Gap, a.Evals, b.Gap, b.Evals)
+	}
+	if a.Gap <= 0 {
+		t.Fatalf("no positive gap: %v", a.Gap)
+	}
+}
+
+// TestParallelTraceMonotone checks the merged trace is a valid best-so-far
+// series on the shared clock, and that a shared tracer survives concurrent
+// emits from all restart goroutines (exercised under -race in CI).
+func TestParallelTraceMonotone(t *testing.T) {
+	inst := figure1Instance(t)
+	col := &obs.Collector{}
+	o := parallelOpts(17, 4)
+	o.Tracer = obs.NewTracer(col)
+	res, err := HillClimb(DPGap(inst, 50), 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace points")
+	}
+	best := math.Inf(-1)
+	for i, tp := range res.Trace {
+		if tp.Gap <= best {
+			t.Fatalf("trace point %d not improving: %v after %v", i, tp.Gap, best)
+		}
+		best = tp.Gap
+		if i > 0 && tp.Elapsed < res.Trace[i-1].Elapsed {
+			t.Fatalf("trace time regressed at %d", i)
+		}
+	}
+	if res.Trace[len(res.Trace)-1].Gap != res.Gap {
+		t.Fatalf("last trace point %v != final gap %v", res.Trace[len(res.Trace)-1].Gap, res.Gap)
+	}
+	evs := col.Events()
+	if len(evs) == 0 {
+		t.Fatal("tracer saw no events from restart goroutines")
+	}
+	restarts := 0
+	for _, e := range evs {
+		if e.Kind == obs.KindRestart {
+			restarts++
+		}
+	}
+	if restarts != o.Restarts {
+		t.Fatalf("tracer saw %d restart events, want %d", restarts, o.Restarts)
+	}
+}
+
+// TestParallelBudgetMode exercises the lazy-seed path: no restart cap, just
+// a small budget on 4 workers. The result must be well-formed; exact restart
+// counts are timing-dependent by design.
+func TestParallelBudgetMode(t *testing.T) {
+	inst := figure1Instance(t)
+	o := parallelOpts(21, 4)
+	o.Restarts = 0
+	o.Budget = 50 * 1e6 // 50ms
+	res, err := HillClimb(DPGap(inst, 50), 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals == 0 || res.Demands == nil {
+		t.Fatalf("budget-mode result incomplete: %+v", res)
+	}
+}
+
+// TestInjectedRngOnly asserts the searches consume randomness only through
+// the injected Rng: two Options built from equal seeds — with nothing else
+// shared — must produce byte-identical outcomes, serial and parallel alike.
+func TestInjectedRngOnly(t *testing.T) {
+	inst := figure1Instance(t)
+	gapFn := DPGap(inst, 50)
+	for _, workers := range []int{1, 4} {
+		a, err := HillClimb(gapFn, 3, parallelOpts(33, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := HillClimb(gapFn, 3, Options{
+			MaxDemand: 100, Sigma: 10, K: 100, Restarts: 6, Workers: workers,
+			Rng: rand.New(rand.NewSource(33)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Gap != b.Gap || a.Evals != b.Evals {
+			t.Fatalf("workers=%d: independently-built equal seeds diverged: %v/%d vs %v/%d",
+				workers, a.Gap, a.Evals, b.Gap, b.Evals)
+		}
+	}
+}

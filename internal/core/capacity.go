@@ -210,17 +210,17 @@ func (pr *CapacityGapProblem) priceCaps(caps []float64) (gap, opt, dp float64, o
 }
 
 func (pr *CapacityGapProblem) polisher(b *capBuild) func(x []float64) (float64, []float64, bool) {
-	seen := newVecCache(512)
+	cache := newPriceCache(512)
+	price := func(caps []float64) (float64, bool) {
+		gap, _, _, ok := pr.priceCaps(caps)
+		return gap, ok
+	}
 	return func(x []float64) (float64, []float64, bool) {
 		caps := make([]float64, len(b.caps))
 		for e, cv := range b.caps {
 			caps[e] = math.Max(pr.CapLo[e], math.Min(pr.CapHi[e], x[cv]))
 		}
-		if seen.contains(caps) {
-			return 0, nil, false
-		}
-		seen.add(caps)
-		gap, _, _, ok := pr.priceCaps(caps)
+		gap, ok := cache.price(caps, price)
 		if !ok {
 			return 0, nil, false
 		}

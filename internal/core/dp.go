@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/kkt"
 	"repro/internal/lp"
@@ -354,7 +355,7 @@ func (pr *DPGapProblem) greedyPinSeed() []float64 {
 // rounding-heuristic move adapted to this domain. Any value returned is a
 // genuinely achievable gap, so branch and bound can use it as an incumbent.
 func (pr *DPGapProblem) polisher(b *dpBuild) func(x []float64) (float64, []float64, bool) {
-	seen := newVecCache(512)
+	cache := newPriceCache(512)
 	price := func(d []float64) (float64, bool) {
 		at := pr.Inst.WithVolumes(d)
 		dp, err := mcf.SolveDemandPinning(at, pr.Threshold)
@@ -408,11 +409,10 @@ func (pr *DPGapProblem) polisher(b *dpBuild) func(x []float64) (float64, []float
 		var bestD []float64
 		for _, cand := range candidates {
 			d, valid := pr.Input.sanitize(cand)
-			if !valid || seen.contains(d) {
+			if !valid {
 				continue
 			}
-			seen.add(d)
-			if gap, priced := price(d); priced && (!ok || gap > bestGap) {
+			if gap, priced := cache.price(d, price); priced && (!ok || gap > bestGap) {
 				bestGap, bestD, ok = gap, d, true
 			}
 		}
@@ -427,19 +427,31 @@ func (pr *DPGapProblem) polisher(b *dpBuild) func(x []float64) (float64, []float
 	}
 }
 
-// vecCache remembers recently priced demand vectors (rounded to 1e-6) so
-// the polish step does not re-solve identical candidates node after node.
-type vecCache struct {
-	max  int
-	keys map[string]bool
-	fifo []string
+// priceCache memoizes the exact pricing of demand vectors (rounded to 1e-6)
+// so the polish step does not re-solve identical candidates node after node.
+// Unlike a plain seen-set it stores the *result*, which makes every polisher
+// a pure function of its argument: repeats return the memoized gap instead
+// of being suppressed, so the answer does not depend on call order. That, in
+// turn, is what lets milp.Solve call polish from concurrent workers (see
+// milp.Options.Polish's concurrency contract) — the mutex makes the cache
+// safe and the purity makes the schedule irrelevant.
+type priceCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]priceEntry
+	fifo    []string
 }
 
-func newVecCache(max int) *vecCache {
-	return &vecCache{max: max, keys: make(map[string]bool, max)}
+type priceEntry struct {
+	gap float64
+	ok  bool
 }
 
-func (c *vecCache) key(d []float64) string {
+func newPriceCache(max int) *priceCache {
+	return &priceCache{max: max, entries: make(map[string]priceEntry, max)}
+}
+
+func (c *priceCache) key(d []float64) string {
 	buf := make([]byte, 0, len(d)*8)
 	for _, x := range d {
 		v := int64(math.Round(x * 1e6))
@@ -450,19 +462,30 @@ func (c *vecCache) key(d []float64) string {
 	return string(buf)
 }
 
-func (c *vecCache) contains(d []float64) bool { return c.keys[c.key(d)] }
-
-func (c *vecCache) add(d []float64) {
+// price returns f(d), memoized. Concurrent callers may both compute f for
+// the same fresh key; f must be deterministic, so whichever result lands in
+// the cache equals the other and the race is benign (the cost is one extra
+// solve, never a different answer).
+func (c *priceCache) price(d []float64, f func([]float64) (float64, bool)) (float64, bool) {
 	k := c.key(d)
-	if c.keys[k] {
-		return
+	c.mu.Lock()
+	if e, hit := c.entries[k]; hit {
+		c.mu.Unlock()
+		return e.gap, e.ok
 	}
-	if len(c.fifo) >= c.max {
-		delete(c.keys, c.fifo[0])
-		c.fifo = c.fifo[1:]
+	c.mu.Unlock()
+	gap, ok := f(d)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, hit := c.entries[k]; !hit {
+		if len(c.fifo) >= c.max {
+			delete(c.entries, c.fifo[0])
+			c.fifo = c.fifo[1:]
+		}
+		c.entries[k] = priceEntry{gap: gap, ok: ok}
+		c.fifo = append(c.fifo, k)
 	}
-	c.keys[k] = true
-	c.fifo = append(c.fifo, k)
+	return gap, ok
 }
 
 // verify recomputes OPT and DP at the found demands with the direct solvers.

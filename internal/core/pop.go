@@ -255,7 +255,7 @@ func (pr *POPGapProblem) Solve(opts milp.Options) (*Result, error) {
 // relaxation's (repaired) demand vector exactly with direct solves over the
 // same fixed assignments and descriptor.
 func (pr *POPGapProblem) polisher(b *popBuild) func(x []float64) (float64, []float64, bool) {
-	seen := newVecCache(512)
+	cache := newPriceCache(512)
 	price := func(d []float64) (float64, bool) {
 		at := pr.Inst.WithVolumes(d)
 		opt, err := mcf.SolveMaxFlow(at)
@@ -291,11 +291,10 @@ func (pr *POPGapProblem) polisher(b *popBuild) func(x []float64) (float64, []flo
 		// fragmentation hurts most when demands saturate the box).
 		for _, cand := range [][]float64{raw, maxed} {
 			d, valid := pr.Input.sanitize(cand)
-			if !valid || seen.contains(d) {
+			if !valid {
 				continue
 			}
-			seen.add(d)
-			if gap, priced := price(d); priced && (!ok || gap > bestGap) {
+			if gap, priced := cache.price(d, price); priced && (!ok || gap > bestGap) {
 				bestGap, bestD, ok = gap, d, true
 			}
 		}

@@ -360,31 +360,37 @@ func (pr *POPSplitGapProblem) evalSplitPOP(d []float64, plan slotPlan) (float64,
 }
 
 func (pr *POPSplitGapProblem) polisher(b *popSplitBuild) func(x []float64) (float64, []float64, bool) {
-	seen := newVecCache(512)
+	cache := newPriceCache(512)
+	price := func(d []float64) (float64, bool) {
+		at := pr.Inst.WithVolumes(d)
+		opt, err := mcf.SolveMaxFlow(at)
+		if err != nil {
+			return 0, false
+		}
+		heur, err := pr.evalSplitPOP(d, b.plan)
+		if err != nil {
+			return 0, false
+		}
+		return opt.Total - heur, true
+	}
 	return func(x []float64) (float64, []float64, bool) {
 		raw := make([]float64, len(b.demands))
 		for k, dv := range b.demands {
 			raw[k] = x[dv]
 		}
 		d, ok := pr.Input.sanitize(raw)
-		if !ok || seen.contains(d) {
+		if !ok {
 			return 0, nil, false
 		}
-		seen.add(d)
-		at := pr.Inst.WithVolumes(d)
-		opt, err := mcf.SolveMaxFlow(at)
-		if err != nil {
-			return 0, nil, false
-		}
-		heur, err := pr.evalSplitPOP(d, b.plan)
-		if err != nil {
+		gap, priced := cache.price(d, price)
+		if !priced {
 			return 0, nil, false
 		}
 		sol := append([]float64(nil), x...)
 		for k, dv := range b.demands {
 			sol[dv] = d[k]
 		}
-		return opt.Total - heur, sol, true
+		return gap, sol, true
 	}
 }
 

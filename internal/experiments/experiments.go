@@ -43,6 +43,10 @@ type Config struct {
 	// Tracer, if non-nil, receives structured events from every search the
 	// experiment runs (white-box B&B and black-box baselines alike).
 	Tracer *obs.Tracer
+	// Workers is threaded into every search: node-relaxation parallelism in
+	// the white-box branch and bound and restart parallelism in the
+	// black-box baselines. 0 or 1 keeps everything sequential.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +87,7 @@ func (c Config) searchOptions() milp.Options {
 		StallWindow:  c.Budget,
 		StallImprove: 0.005,
 		Tracer:       c.Tracer,
+		Workers:      c.Workers,
 	}
 }
 
@@ -214,6 +219,7 @@ func Figure3(heuristic string, cfg Config) ([]Figure3Point, error) {
 		K:         100,
 		Budget:    cfg.Budget,
 		Tracer:    cfg.Tracer,
+		Workers:   cfg.Workers,
 	}
 	hcOpts := base
 	hcOpts.Rng = rand.New(rand.NewSource(cfg.Seed + 20))

@@ -1,0 +1,64 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// dualityTol is the reduced-cost magnitude below which a variable is treated
+// as having no bound contribution, so a free variable with numerically-zero
+// reduced cost does not spuriously fail DualObjective.
+const dualityTol = 1e-7
+
+// DualObjective evaluates the dual objective implied by sol.Dual against the
+// problem data, in the problem's own sense:
+//
+//	dual = sum_i y_i*rhs_i + sum_j d_j*b_j
+//
+// where d_j = c_j - sum_i y_i*a_ij is the reduced cost of variable j and b_j
+// is the variable bound its sign makes active (for Maximize the dual
+// relaxation pays hi_j when d_j > 0 and lo_j when d_j < 0; Minimize flips).
+// By LP strong duality an optimal solution satisfies
+// DualObjective == sol.Objective, so the pair (primal simplex answer, dual
+// multipliers) is a self-checking certificate: any silent pivoting or
+// pricing bug breaks the equality. It returns an error if a needed bound is
+// infinite while the reduced cost is meaningfully nonzero — that means the
+// multipliers do not certify the claimed objective at all.
+func (p *Problem) DualObjective(sol *Solution) (float64, error) {
+	if sol == nil || len(sol.Dual) != len(p.cons) {
+		return 0, fmt.Errorf("lp: %s: solution carries %d duals, want %d",
+			p.Name, len(sol.Dual), len(p.cons))
+	}
+	// Reduced costs: d = c - A'y, accumulating repeated terms like the
+	// solver does.
+	d := make([]float64, len(p.vars))
+	for j, v := range p.vars {
+		d[j] = v.obj
+	}
+	dual := 0.0
+	for i, c := range p.cons {
+		y := sol.Dual[i]
+		dual += y * c.rhs
+		if y == 0 {
+			continue
+		}
+		for _, t := range c.expr.Terms {
+			d[t.Var] -= y * t.Coef
+		}
+	}
+	for j, v := range p.vars {
+		if math.Abs(d[j]) <= dualityTol {
+			continue
+		}
+		b := v.lo
+		if (p.sense == Minimize) != (d[j] > 0) {
+			b = v.hi
+		}
+		if math.IsInf(b, 0) {
+			return 0, fmt.Errorf("lp: %s: variable %q has reduced cost %g but its certifying bound is infinite",
+				p.Name, v.name, d[j])
+		}
+		dual += d[j] * b
+	}
+	return dual, nil
+}

@@ -88,5 +88,15 @@ func FuzzSimplexConsistency(f *testing.F) {
 		if math.Abs(obj-sol.Objective) > 1e-4*(1+math.Abs(obj)) {
 			t.Fatalf("objective mismatch: %v vs %v", obj, sol.Objective)
 		}
+		// Strong duality: the returned multipliers must certify the optimal
+		// objective exactly (silent pivoting bugs fail here long before they
+		// corrupt a feasibility check).
+		dual, err := p.DualObjective(sol)
+		if err != nil {
+			t.Fatalf("dual certificate: %v", err)
+		}
+		if math.Abs(dual-sol.Objective) > 1e-4*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("strong duality violated: primal %v vs dual %v", sol.Objective, dual)
+		}
 	})
 }

@@ -92,6 +92,16 @@ func TestQuickRandomFeasibleLPs(t *testing.T) {
 			t.Logf("seed %d: objective mismatch %v vs %v", seed, obj, sol.Objective)
 			return false
 		}
+		// Strong duality: the reported multipliers certify the optimum.
+		dual, err := p.DualObjective(sol)
+		if err != nil {
+			t.Logf("seed %d: dual certificate: %v", seed, err)
+			return false
+		}
+		if math.Abs(dual-sol.Objective) > 1e-5*(1+math.Abs(sol.Objective)) {
+			t.Logf("seed %d: strong duality violated: primal %v dual %v", seed, sol.Objective, dual)
+			return false
+		}
 		return true
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
@@ -176,7 +186,16 @@ func TestQuickEqualityLPs(t *testing.T) {
 		for j, v := range vars {
 			feasObj += p.Obj(v) * x0[j]
 		}
-		return sol.Objective <= feasObj+1e-6*(1+math.Abs(feasObj))
+		if sol.Objective > feasObj+1e-6*(1+math.Abs(feasObj)) {
+			return false
+		}
+		// Strong duality holds through the phase-1 machinery too.
+		dual, err := p.DualObjective(sol)
+		if err != nil {
+			t.Logf("seed %d: dual certificate: %v", seed, err)
+			return false
+		}
+		return math.Abs(dual-sol.Objective) <= 1e-5*(1+math.Abs(sol.Objective))
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)

@@ -3,6 +3,8 @@ package milp
 import (
 	"container/heap"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lp"
@@ -16,8 +18,11 @@ const (
 )
 
 // node is a branch-and-bound node: a set of bound overrides plus the bound
-// inherited from its parent's relaxation.
+// inherited from its parent's relaxation. The id is a creation-order serial
+// number used as the heap's final tie-break, which makes the pop order a
+// strict total order — the anchor of the deterministic parallel mode.
 type node struct {
+	id        uint64
 	overrides map[lp.VarID][2]float64
 	bound     float64 // parent relaxation objective, in maximize-direction score
 	depth     int
@@ -30,12 +35,19 @@ type nodeHeap struct {
 
 func (h *nodeHeap) Len() int { return len(h.nodes) }
 func (h *nodeHeap) Less(i, j int) bool {
-	if h.depthFirst {
-		if h.nodes[i].depth != h.nodes[j].depth {
-			return h.nodes[i].depth > h.nodes[j].depth
-		}
+	a, b := h.nodes[i], h.nodes[j]
+	if h.depthFirst && a.depth != b.depth {
+		return a.depth > b.depth
 	}
-	return h.nodes[i].bound > h.nodes[j].bound
+	if a.bound != b.bound {
+		return a.bound > b.bound
+	}
+	// (bound, id) tie-break: with a unique minimum, heap.Pop's result is a
+	// pure function of the heap's contents regardless of insertion order.
+	// Newest-first, so tie plateaus (e.g. symmetric knapsacks, where every
+	// node shares the root bound) are walked depth-first toward a leaf
+	// instead of breadth-first across the tree.
+	return a.id > b.id
 }
 func (h *nodeHeap) Swap(i, j int) { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
 func (h *nodeHeap) Push(x any)    { h.nodes = append(h.nodes, x.(*node)) }
@@ -48,9 +60,32 @@ func (h *nodeHeap) Pop() any {
 	return it
 }
 
+// nodeResult is everything a worker computes for one wave node. The
+// coordinator applies results strictly in wave order, so the explored tree
+// (and every counter and trace event) is independent of which worker ran
+// which node, and of how their completions interleaved.
+type nodeResult struct {
+	sol *lp.Solution
+	err error
+	// Speculative polish outcome, computed on the worker whenever the node
+	// could still improve on the wave-start incumbent.
+	polishTried bool
+	polishObj   float64
+	polishSol   []float64
+	polishOK    bool
+}
+
 // Solve runs branch and bound on the model. The LP's own sense is honored:
 // for Maximize the bound decreases toward the incumbent from above, for
 // Minimize from below.
+//
+// With Options.Workers > 1 the search proceeds in waves: the coordinator
+// pops up to Options.Batch nodes from the frontier, the workers solve their
+// relaxations (plus speculative Polish calls) concurrently, and the
+// coordinator applies the results sequentially in pop order. Everything
+// that shapes the tree — pruning, incumbents, branching — happens on the
+// coordinator, so a run is reproducible and Workers only changes wall-clock
+// time, never the answer.
 func Solve(m *Model, opts Options) (*Result, error) {
 	start := time.Now()
 	dir := 1.0
@@ -59,6 +94,17 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	}
 	if opts.AbsGapTol == 0 {
 		opts.AbsGapTol = 1e-6
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	batch := opts.Batch
+	if batch <= 0 {
+		batch = 1
+		if workers > 1 {
+			batch = 2 * workers
+		}
 	}
 	// The legacy Log callback becomes one more sink on the tracer, so both
 	// render the same event stream. A nil tracer with a nil Log stays nil,
@@ -83,23 +129,32 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	windowIncumbent := incumbent
 
 	h := &nodeHeap{depthFirst: opts.DepthFirst}
-	heap.Push(h, &node{bound: math.Inf(1)})
+	var nextID uint64 = 1
+	heap.Push(h, &node{bound: math.Inf(1)}) // root: id 0
 
-	solveNode := func(nd *node) (*lp.Solution, error) {
-		res.LPSolves++
-		tr.Emit(obs.Event{Kind: obs.KindLPSolveStart, Nodes: res.Nodes})
-		sol, err := m.P.SolveWith(lp.SolveOptions{
+	// relax is the worker-side work for one node: the LP relaxation plus a
+	// speculative polish. It is a pure function of (nd, waveIncumbent) — it
+	// reads only immutable state — so results are identical no matter which
+	// worker runs it. Each call builds its own simplex tableau (lp.SolveWith
+	// shares no scratch memory between calls).
+	relax := func(nd *node, waveIncumbent float64) nodeResult {
+		var r nodeResult
+		r.sol, r.err = m.P.SolveWith(lp.SolveOptions{
 			BoundOverride: nd.overrides,
 			MaxIters:      opts.LPMaxIters,
 			Deadline:      deadline, // zero when no time limit is set
 		})
-		if sol != nil {
-			res.LPIters += sol.Iterations
-			tr.Emit(obs.Event{Kind: obs.KindLPSolveEnd, Nodes: res.Nodes,
-				Iters: sol.Iterations, Degenerate: sol.DegeneratePivots,
-				Status: sol.Status.String()})
+		if r.err != nil || r.sol == nil || r.sol.Status != lp.StatusOptimal {
+			return r
 		}
-		return sol, err
+		// Speculative polish: skip nodes whose score cannot beat even the
+		// wave-start incumbent — the apply step is guaranteed to prune them,
+		// so skipping is outcome-neutral.
+		if opts.Polish != nil && r.sol.X != nil && dir*r.sol.Objective > waveIncumbent+boundTol {
+			r.polishTried = true
+			r.polishObj, r.polishSol, r.polishOK = opts.Polish(r.sol.X)
+		}
+		return r
 	}
 
 	// recordIncumbent appends a fully-populated trace point and emits the
@@ -164,9 +219,14 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	}
 	windowIncumbent = incumbent
 
+	wave := make([]*node, 0, batch)
+	resBuf := make([]nodeResult, batch)
+
 	for h.Len() > 0 {
 		// Global bound = best of incumbent and all open node bounds; the heap
 		// top carries the largest open bound when using best-bound order.
+		// Computed before the wave is popped, so it upper-bounds every wave
+		// node too — incumbent trace points recorded mid-wave stay valid.
 		if !opts.DepthFirst {
 			bestBound = h.nodes[0].bound
 		} else {
@@ -181,10 +241,15 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		if incumbentX != nil {
 			gap := bestBound - incumbent
 			if gap <= opts.AbsGapTol || (opts.RelGapTol > 0 && gap <= opts.RelGapTol*math.Abs(incumbent)) {
+				// Every remaining open node is prunable, so the incumbent
+				// itself is the tightest valid bound: never report a stale
+				// heap-top bound below it (that would show a spurious gap).
+				bestBound = math.Max(bestBound, incumbent)
 				return finish(StatusOptimal), nil
 			}
 		}
-		// Stopping rules.
+		// Stopping rules, checked only at wave boundaries (no node is ever
+		// in flight here).
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			infeasibleProven = false
 			break
@@ -208,121 +273,199 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			windowIncumbent = incumbent
 		}
 
-		nd := heap.Pop(h).(*node)
-		if nd.bound <= incumbent+boundTol {
-			tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
-				Bound: dir * nd.bound, Detail: "bound"})
-			continue // pruned by bound
+		// Pop the wave: up to batch nodes surviving the bound prune against
+		// the current incumbent, in strict heap order. With Batch == 1 this
+		// is exactly the classic pop-prune-solve loop.
+		lim := batch
+		if opts.MaxNodes > 0 {
+			if rem := opts.MaxNodes - res.Nodes; rem < lim {
+				lim = rem
+			}
 		}
-		sol, err := solveNode(nd)
-		if err != nil {
-			return nil, err
+		wave = wave[:0]
+		for len(wave) < lim && h.Len() > 0 {
+			nd := heap.Pop(h).(*node)
+			if nd.bound <= incumbent+boundTol {
+				tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
+					Bound: dir * nd.bound, Detail: "bound"})
+				continue // pruned by bound
+			}
+			wave = append(wave, nd)
 		}
-		res.Nodes++
-		tr.Emit(obs.Event{Kind: obs.KindNodeExplored, Nodes: res.Nodes,
-			Bound: dir * bestBound})
-		switch sol.Status {
-		case lp.StatusInfeasible:
-			tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
-				Detail: "infeasible"})
-			continue
-		case lp.StatusUnbounded:
-			// Unbounded relaxations are common here: KKT dual variables have
-			// unbounded rays until complementarity pins them. Branch with an
-			// infinite bound; only a fully resolved unbounded leaf proves the
-			// mixed problem itself unbounded (handled below).
-			sol = nil
-		case lp.StatusIterLimit:
-			// Keep the node's inherited bound and skip — we cannot evaluate
-			// it, and dropping it silently would break infeasibility proofs.
-			infeasibleProven = false
+		if len(wave) == 0 {
 			continue
 		}
 
-		var score float64
-		var x []float64
-		if sol == nil {
-			score = math.Inf(1)
+		// Solve the wave's relaxations. Workers pull jobs dynamically; the
+		// result slot is fixed by wave position, so scheduling cannot leak
+		// into the outcome.
+		results := resBuf[:len(wave)]
+		if workers == 1 || len(wave) == 1 {
+			for i, nd := range wave {
+				results[i] = relax(nd, incumbent)
+			}
 		} else {
-			score = dir * sol.Objective
-			x = sol.X
-		}
-		if score <= incumbent+boundTol {
-			tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
-				Bound: dir * score, Detail: "bound"})
-			continue
+			waveIncumbent := incumbent
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			nw := min(workers, len(wave))
+			wg.Add(nw)
+			for w := 0; w < nw; w++ {
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(wave) {
+							return
+						}
+						results[i] = relax(wave[i], waveIncumbent)
+					}
+				}()
+			}
+			wg.Wait()
 		}
 
-		// Primal heuristic: let the caller turn this relaxation point into a
-		// genuine feasible solution (e.g. by evaluating the true gap of the
-		// relaxation's demand vector with the direct solvers).
-		if opts.Polish != nil && x != nil {
-			if pObj, pSol, ok := opts.Polish(x); ok {
-				if pScore := dir * pObj; pScore > incumbent {
-					incumbent = pScore
-					incumbentX = append([]float64(nil), pSol...)
-					tr.Emit(obs.Event{Kind: obs.KindPolishAccept,
-						Objective: pObj, Nodes: res.Nodes})
-					recordIncumbent(pObj, SourcePolish)
+		// Apply results sequentially in wave (= deterministic pop) order.
+		for wi, nd := range wave {
+			wr := results[wi]
+			if wr.err != nil {
+				return nil, wr.err
+			}
+			// Intra-wave re-check: an earlier node of this wave may have
+			// raised the incumbent past this node's bound. Never fires when
+			// Batch == 1 (the pop-time prune used the same incumbent).
+			latePruned := nd.bound <= incumbent+boundTol
+
+			res.LPSolves++
+			tr.Emit(obs.Event{Kind: obs.KindLPSolveStart, Nodes: res.Nodes})
+			sol := wr.sol
+			if sol != nil {
+				res.LPIters += sol.Iterations
+				tr.Emit(obs.Event{Kind: obs.KindLPSolveEnd, Nodes: res.Nodes,
+					Iters: sol.Iterations, Degenerate: sol.DegeneratePivots,
+					Status: sol.Status.String()})
+			}
+			if latePruned {
+				tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
+					Bound: dir * nd.bound, Detail: "bound"})
+				continue
+			}
+			res.Nodes++
+			tr.Emit(obs.Event{Kind: obs.KindNodeExplored, Nodes: res.Nodes,
+				Bound: dir * bestBound})
+			switch sol.Status {
+			case lp.StatusInfeasible:
+				tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
+					Detail: "infeasible"})
+				continue
+			case lp.StatusUnbounded:
+				// Unbounded relaxations are common here: KKT dual variables have
+				// unbounded rays until complementarity pins them. Branch with an
+				// infinite bound; only a fully resolved unbounded leaf proves the
+				// mixed problem itself unbounded (handled below).
+				sol = nil
+			case lp.StatusIterLimit:
+				// Keep the node's inherited bound and skip — we cannot evaluate
+				// it, and dropping it silently would break infeasibility proofs.
+				infeasibleProven = false
+				continue
+			}
+
+			var score float64
+			var x []float64
+			if sol == nil {
+				score = math.Inf(1)
+			} else {
+				score = dir * sol.Objective
+				x = sol.X
+			}
+			if score <= incumbent+boundTol {
+				tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
+					Bound: dir * score, Detail: "bound"})
+				continue
+			}
+
+			// Primal heuristic: let the caller turn this relaxation point into a
+			// genuine feasible solution (e.g. by evaluating the true gap of the
+			// relaxation's demand vector with the direct solvers). The worker
+			// already ran it speculatively whenever this point is reachable (the
+			// score beats the wave-start incumbent, which is never above the
+			// current one); the fallback covers the contract defensively.
+			if opts.Polish != nil && x != nil {
+				if !wr.polishTried {
+					wr.polishObj, wr.polishSol, wr.polishOK = opts.Polish(x)
+				}
+				if wr.polishOK {
+					pObj, pSol := wr.polishObj, wr.polishSol
+					if pScore := dir * pObj; pScore > incumbent {
+						incumbent = pScore
+						incumbentX = append([]float64(nil), pSol...)
+						tr.Emit(obs.Event{Kind: obs.KindPolishAccept,
+							Objective: pObj, Nodes: res.Nodes})
+						recordIncumbent(pObj, SourcePolish)
+						if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
+							infeasibleProven = false
+							bestBound = math.Max(bestBound, incumbent)
+							return finish(StatusFeasible), nil
+						}
+						if score <= incumbent+boundTol {
+							continue
+						}
+					} else {
+						tr.Emit(obs.Event{Kind: obs.KindPolishReject,
+							Objective: pObj, Nodes: res.Nodes})
+					}
+				} else {
+					tr.Emit(obs.Event{Kind: obs.KindPolishReject, Nodes: res.Nodes})
+				}
+			}
+
+			branchVar, branchPair := pickBranch(m, x, nd.overrides)
+			if branchVar == -1 && branchPair == -1 && x == nil {
+				// An unbounded node with every side constraint resolved means
+				// the mixed problem itself is unbounded.
+				return finish(StatusUnbounded), nil
+			}
+			if branchVar == -1 && branchPair == -1 && x != nil {
+				// Integral and complementary: new incumbent.
+				if score > incumbent {
+					incumbent = score
+					incumbentX = append([]float64(nil), x...)
+					recordIncumbent(dir*incumbent, SourceLeaf)
+					// Compare in score space so "at least as good" respects sense.
 					if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
 						infeasibleProven = false
 						bestBound = math.Max(bestBound, incumbent)
 						return finish(StatusFeasible), nil
 					}
-					if score <= incumbent+boundTol {
-						continue
-					}
-				} else {
-					tr.Emit(obs.Event{Kind: obs.KindPolishReject,
-						Objective: pObj, Nodes: res.Nodes})
 				}
+				continue
+			}
+
+			// Branch. Children take creation-order ids on the coordinator, so
+			// the heap's tie-break order is reproducible run to run.
+			mk := func(v lp.VarID, lo, hi float64) *node {
+				ov := make(map[lp.VarID][2]float64, len(nd.overrides)+1)
+				for k, b := range nd.overrides {
+					ov[k] = b
+				}
+				ov[v] = [2]float64{lo, hi}
+				id := nextID
+				nextID++
+				return &node{id: id, overrides: ov, bound: score, depth: nd.depth + 1}
+			}
+			if branchVar != -1 {
+				tr.Emit(obs.Event{Kind: obs.KindNodeBranched, Nodes: res.Nodes,
+					Detail: m.P.VarName(branchVar)})
+				heap.Push(h, mk(branchVar, 0, 0))
+				heap.Push(h, mk(branchVar, 1, 1))
 			} else {
-				tr.Emit(obs.Event{Kind: obs.KindPolishReject, Nodes: res.Nodes})
+				pr := m.pairs[branchPair]
+				tr.Emit(obs.Event{Kind: obs.KindNodeBranched, Nodes: res.Nodes,
+					Detail: pr.Name})
+				heap.Push(h, mk(pr.U, 0, 0))
+				heap.Push(h, mk(pr.V, 0, 0))
 			}
-		}
-
-		branchVar, branchPair := pickBranch(m, x, nd.overrides)
-		if branchVar == -1 && branchPair == -1 && x == nil {
-			// An unbounded node with every side constraint resolved means
-			// the mixed problem itself is unbounded.
-			return finish(StatusUnbounded), nil
-		}
-		if branchVar == -1 && branchPair == -1 && x != nil {
-			// Integral and complementary: new incumbent.
-			if score > incumbent {
-				incumbent = score
-				incumbentX = append([]float64(nil), x...)
-				recordIncumbent(dir*incumbent, SourceLeaf)
-				// Compare in score space so "at least as good" respects sense.
-				if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
-					infeasibleProven = false
-					bestBound = math.Max(bestBound, incumbent)
-					return finish(StatusFeasible), nil
-				}
-			}
-			continue
-		}
-
-		// Branch.
-		mk := func(v lp.VarID, lo, hi float64) *node {
-			ov := make(map[lp.VarID][2]float64, len(nd.overrides)+1)
-			for k, b := range nd.overrides {
-				ov[k] = b
-			}
-			ov[v] = [2]float64{lo, hi}
-			return &node{overrides: ov, bound: score, depth: nd.depth + 1}
-		}
-		if branchVar != -1 {
-			tr.Emit(obs.Event{Kind: obs.KindNodeBranched, Nodes: res.Nodes,
-				Detail: m.P.VarName(branchVar)})
-			heap.Push(h, mk(branchVar, 0, 0))
-			heap.Push(h, mk(branchVar, 1, 1))
-		} else {
-			pr := m.pairs[branchPair]
-			tr.Emit(obs.Event{Kind: obs.KindNodeBranched, Nodes: res.Nodes,
-				Detail: pr.Name})
-			heap.Push(h, mk(pr.U, 0, 0))
-			heap.Push(h, mk(pr.V, 0, 0))
 		}
 	}
 

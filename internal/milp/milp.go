@@ -175,6 +175,21 @@ type Options struct {
 	DepthFirst bool
 	// LPMaxIters overrides the per-node LP iteration cap.
 	LPMaxIters int
+	// Workers sets how many goroutines solve node relaxations (and run the
+	// Polish heuristic) concurrently. 0 or 1 selects the sequential search.
+	// Parallelism is wave-based and deterministic: the set of explored nodes
+	// is a pure function of Batch, never of Workers, so Workers=1 and
+	// Workers=N with the same Batch explore the identical tree and return
+	// the identical incumbent and bound. See DESIGN.md, "Deterministic
+	// work-sharing".
+	Workers int
+	// Batch is the wave size: how many nodes are popped from the frontier
+	// and relaxed before any of their results are applied. 0 selects a
+	// default of 1 when Workers <= 1 (exactly the classic serial loop) and
+	// 2*Workers otherwise (amortizing stragglers). Larger batches increase
+	// parallel occupancy but act on staler incumbents, so they may explore
+	// nodes a smaller batch would have pruned.
+	Batch int
 	// Seeds are known-feasible solutions installed as incumbents before the
 	// search starts (same contract as Polish: the objective must be
 	// genuinely achievable and the vector is treated opaquely). They
@@ -189,6 +204,12 @@ type Options struct {
 	// responsibility that it encodes a real solution. This is how the gap
 	// finder grounds the search: any relaxation's demand vector can be
 	// evaluated exactly with the direct OPT/heuristic solvers.
+	//
+	// Concurrency contract: when Workers > 1 the solver calls Polish from
+	// several goroutines at once, so it must be safe for concurrent use; and
+	// for runs to be reproducible its return value must depend only on its
+	// argument, not on call order (memoize results rather than suppressing
+	// repeats — see internal/core's priceCache).
 	Polish func(x []float64) (obj float64, sol []float64, ok bool)
 	// Tracer, if non-nil, receives structured events (node explored/pruned/
 	// branched, LP solve start/end, incumbents, stall checks, polish

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerConcurrentEmitOrdering hammers one shared Tracer from many
+// goroutines — the exact shape the parallel branch-and-bound and parallel
+// blackbox restarts produce — and checks the serialized guarantees hold: no
+// event is lost, Elapsed stamps never decrease in arrival order, and the
+// metrics and JSONL sinks downstream stay consistent. Run under -race in CI,
+// this is the hot-path concurrency-safety proof for the observability stack.
+func TestTracerConcurrentEmitOrdering(t *testing.T) {
+	const goroutines = 8
+	const perG = 500
+	col := &Collector{}
+	reg := NewRegistry()
+	tr := NewTracer(col, NewMetricsSink(reg), NewJSONLWriter(io.Discard))
+
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Emit(Event{Kind: KindLPSolveStart, Nodes: i})
+				tr.Emit(Event{Kind: KindLPSolveEnd, Nodes: i, Iters: 3})
+				if i%50 == 0 {
+					tr.Emit(Event{Kind: KindIncumbent, Source: SourceLeaf,
+						Objective: float64(g*perG + i)})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	evs := col.Events()
+	want := goroutines * (2*perG + perG/50)
+	if len(evs) != want {
+		t.Fatalf("collector saw %d events, want %d", len(evs), want)
+	}
+	var last time.Duration = -1
+	starts, ends := 0, 0
+	for i, e := range evs {
+		if e.Elapsed < last {
+			t.Fatalf("event %d: Elapsed regressed (%v after %v)", i, e.Elapsed, last)
+		}
+		last = e.Elapsed
+		switch e.Kind {
+		case KindLPSolveStart:
+			starts++
+		case KindLPSolveEnd:
+			ends++
+		}
+	}
+	if starts != goroutines*perG || ends != goroutines*perG {
+		t.Fatalf("start/end counts skewed: %d/%d, want %d each", starts, ends, goroutines*perG)
+	}
+	snap := reg.Snapshot()
+	if got := snap["bnb_incumbents_total"]; got != float64(goroutines*(perG/50)) {
+		t.Fatalf("metrics incumbents=%v, want %d", got, goroutines*(perG/50))
+	}
+}
+
+// TestRegistryConcurrentAccess checks concurrent Counter/Gauge/Histogram
+// lookups and updates on one shared Registry (workers share the registry the
+// same way they share the tracer).
+func TestRegistryConcurrentAccess(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	wg.Add(8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				reg.Counter("shared_counter").Inc()
+				reg.Gauge("shared_gauge").Set(float64(i))
+				reg.Histogram("shared_hist").Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := reg.Counter("shared_counter").Value(); v != 8000 {
+		t.Fatalf("counter=%d, want 8000", v)
+	}
+	if c := reg.Histogram("shared_hist").Count(); c != 8000 {
+		t.Fatalf("histogram count=%d, want 8000", c)
+	}
+}
