@@ -1,0 +1,33 @@
+# Mirrors the CI jobs so a local `make lint test` reproduces exactly what
+# the required checks run.
+
+GO ?= go
+
+.PHONY: all build fmt test lint gapvet vuln
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test -race -shuffle=on ./...
+
+# lint is the CI lint job: stock vet, the gapvet contract suite, and (when
+# the network allows fetching it) govulncheck. Any finding is fatal.
+lint: fmt
+	$(GO) vet ./...
+	$(GO) run ./cmd/gapvet ./...
+	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+gapvet:
+	$(GO) run ./cmd/gapvet ./...
+
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

@@ -1,0 +1,90 @@
+// Command gapvet is the project's multichecker: it runs the gapvet
+// analyzer suite (detrand, walltime, floateq, maporder, tracecover) over
+// the given package patterns and exits nonzero on any finding, optionally
+// running stock `go vet` first so one invocation covers both layers.
+//
+// Usage:
+//
+//	go run ./cmd/gapvet ./...
+//	go run ./cmd/gapvet -vet -only detrand,floateq ./internal/...
+//
+// Findings are silenced case by case with a //gapvet:allow <analyzer>
+// <reason> comment on the offending line or the line above; the reason is
+// mandatory. See DESIGN.md ("Static enforcement of the determinism
+// contract") for each analyzer's rationale and the suppression policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		only = flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
+		vet  = flag.Bool("vet", false, "also run `go vet` on the same patterns first")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gapvet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	failed := false
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gapvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gapvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if failed || len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,258 @@
+// Package analysis is gapvet's static-analysis suite: a family of
+// project-specific analyzers that enforce the solver stack's determinism,
+// float-safety, and observability contracts at compile time.
+//
+// The contracts it guards are the ones the reproduction's results rest on:
+//
+//   - detrand: all randomness flows through an injected *rand.Rand (the
+//     PR 2 reproducibility contract). Global math/rand state and
+//     time-seeded generators are contraband.
+//   - walltime: wall-clock reads (time.Now / time.Since) stay inside
+//     allowlisted deadline/observability contexts and never silently feed
+//     result-affecting values in solver packages.
+//   - floateq: no raw == / != between computed floating-point expressions;
+//     comparisons go through the tolerance constants (pivotTol, feasTol,
+//     intTol, ...) unless one side is an exact sentinel constant.
+//   - maporder: map iteration order never leaks into slices, output, or
+//     trace events without a subsequent sort.
+//   - tracecover: exported Solve/Run-shaped entry points in the solver
+//     packages accept the obs tracer, so PR 1's observability layer cannot
+//     rot out of new code paths.
+//
+// The vocabulary (Analyzer, Pass, Diagnostic) deliberately mirrors
+// golang.org/x/tools/go/analysis so the suite can be ported to a stock
+// multichecker wholesale; it is reimplemented here on the standard library
+// alone (go/parser + go/types + the source importer) because this build
+// environment is offline and the module vendors nothing.
+//
+// Suppression: a finding is silenced by an adjacent comment of the form
+//
+//	//gapvet:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory; a malformed or unknown-analyzer allow comment is itself a
+// finding, so suppressions stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked package
+// and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns the full gapvet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, Walltime, Floateq, Maporder, Tracecover}
+}
+
+// RunAnalyzers runs every analyzer over every package, applies
+// //gapvet:allow suppressions, and returns the surviving findings sorted by
+// position. Malformed suppression comments are returned as findings of the
+// pseudo-analyzer "gapvet".
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// Suppressions may name any analyzer in the suite, not just the ones
+	// selected for this run (-only must not turn valid allows into findings).
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		allowed, bad := suppressions(pkg, known)
+		for _, d := range raw {
+			if allowed[allowKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}] {
+				continue
+			}
+			out = append(out, d)
+		}
+		out = append(out, bad...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowRe captures "//gapvet:allow <analyzer> <reason>"; reason may be any
+// non-empty trailing text.
+var allowRe = regexp.MustCompile(`^//gapvet:allow\s+(\S+)(?:\s+(.*))?$`)
+
+// suppressions scans a package's comments for //gapvet:allow markers. A
+// marker on line L silences the named analyzer on lines L and L+1 of the
+// same file (end-of-line and line-above placement). Markers lacking a
+// reason or naming an unknown analyzer are returned as findings.
+func suppressions(pkg *Package, known map[string]bool) (map[allowKey]bool, []Diagnostic) {
+	allowed := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//gapvet:allow") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "gapvet",
+						Pos:      pos,
+						Message:  "malformed suppression: want //gapvet:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				if !known[m[1]] {
+					bad = append(bad, Diagnostic{
+						Analyzer: "gapvet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("suppression names unknown analyzer %q", m[1]),
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					allowed[allowKey{file: pos.Filename, line: line, analyzer: m[1]}] = true
+				}
+			}
+		}
+	}
+	return allowed, bad
+}
+
+// pkgLevelFunc resolves e (a call's Fun or a bare reference) to a
+// package-level function and returns its package path and name; it returns
+// ("", "") for methods, builtins, locals, and non-functions.
+func pkgLevelFunc(info *types.Info, e ast.Expr) (pkgPath, name string) {
+	e = ast.Unparen(e)
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	case *ast.Ident:
+		obj = info.Uses[x]
+	default:
+		return "", ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", "" // method, not a package-level func
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// pkgTail returns the last slash-separated element of a package path —
+// the unit the per-package allow/deny lists are keyed on, so the same
+// analyzers gate both real solver packages and analysistest golden
+// packages (whose fake paths end in the same tails).
+func pkgTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// parents builds a child -> parent node map for a file, used by analyzers
+// that need the enclosing statement context of a match.
+func parents(f *ast.File) map[ast.Node]ast.Node {
+	m := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return m
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuppressionDiagnostics pins the suppression contract: a reason-less
+// allow and an unknown-analyzer allow are findings of the pseudo-analyzer
+// "gapvet" and do NOT silence the flagged line below them, while a
+// well-formed allow does. Expectations are asserted directly because the
+// gapvet findings land on the comment lines themselves, where a want
+// comment cannot sit.
+func TestSuppressionDiagnostics(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "suppress", "a"), "gapvet/suppress/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{Floateq})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	countWith := func(analyzer, substr string) int {
+		n := 0
+		for _, d := range diags {
+			if d.Analyzer == analyzer && strings.Contains(d.Message, substr) {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countWith("gapvet", "malformed suppression"); got != 1 {
+		t.Errorf("malformed-suppression findings = %d, want 1", got)
+	}
+	if got := countWith("gapvet", `unknown analyzer "nosuchcheck"`); got != 1 {
+		t.Errorf("unknown-analyzer findings = %d, want 1", got)
+	}
+	// The two invalid allows must not suppress their comparisons; the one
+	// valid allow must. 3 comparisons in the file, so exactly 2 survive.
+	if got := countWith("floateq", "exact =="); got != 2 {
+		t.Errorf("surviving floateq findings = %d, want 2 (invalid allows must not suppress)", got)
+	}
+	if len(diags) != 4 {
+		for _, d := range diags {
+			t.Logf("finding: %s", d)
+		}
+		t.Errorf("total findings = %d, want 4", len(diags))
+	}
+}
+
+// TestAllowCrossAnalyzerName checks that an allow naming a suite analyzer
+// that is not part of the current run is still recognized (not reported as
+// unknown): -only subsets must not invalidate existing annotations.
+func TestAllowCrossAnalyzerName(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "tracecover", "lp"), "gapvet/tracecover/lp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run only floateq over a package annotated with //gapvet:allow
+	// tracecover: the annotation must not become an unknown-analyzer finding.
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{Floateq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func TestPkgTail(t *testing.T) {
+	for in, want := range map[string]string{
+		"repro/internal/lp":    "lp",
+		"gapvet/walltime/milp": "milp",
+		"lp":                   "lp",
+	} {
+		if got := pkgTail(in); got != want {
+			t.Errorf("pkgTail(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

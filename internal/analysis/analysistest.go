@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe matches golden-file expectation comments: // want "regexp" ...
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRe extracts the double-quoted regexps of a want comment.
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// RunGolden runs one analyzer over the golden package at
+// testdata/src/<rel> through the full driver — suppression comments
+// included — and compares the surviving findings against `// want "re"`
+// comments in the golden files. Every want must be matched by a finding on
+// its line and every finding must be matched by a want, mirroring
+// golang.org/x/tools/go/analysis/analysistest semantics.
+//
+// The package is type-checked under the fake import path gapvet/<rel>, so
+// a golden package's path tail (e.g. testdata/src/walltime/milp) drives
+// the same per-package gating as the real tree.
+func RunGolden(t testing.TB, a *Analyzer, rel string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	pkg, err := LoadDir(dir, path.Join("gapvet", rel))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type want struct {
+		file    string
+		line    int
+		re      *regexp.Regexp
+		matched bool
+	}
+	var wants []*want
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			qs := quotedRe.FindAllString(m[1], -1)
+			if len(qs) == 0 {
+				t.Fatalf("%s:%d: want comment carries no quoted regexp", e.Name(), i+1)
+			}
+			for _, q := range qs {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", e.Name(), i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, pat, err)
+				}
+				wants = append(wants, &want{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+
+	var errs []string
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Sprintf("unexpected finding at %s:%d: %s: %s", base, d.Pos.Line, d.Analyzer, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			errs = append(errs, fmt.Sprintf("no finding matched want %q at %s:%d", w.re, w.file, w.line))
+		}
+	}
+	for _, e := range errs {
+		t.Error(e)
+	}
+}

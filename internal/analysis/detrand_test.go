@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestDetrandFlagging(t *testing.T) {
+	RunGolden(t, Detrand, "detrand/a")
+}
+
+func TestDetrandClean(t *testing.T) {
+	RunGolden(t, Detrand, "detrand/b")
+}

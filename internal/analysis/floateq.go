@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Floateq flags == and != between two computed floating-point expressions.
+// After a simplex pivot or a KKT reformulation, two mathematically equal
+// quantities differ in ulps, so exact equality silently degrades into
+// "sometimes"; comparisons belong behind the tolerance constants the solver
+// already defines (pivotTol, feasTol, optTol, intTol, complTol, boundTol).
+//
+// Comparisons against compile-time constants are exempt: `x == 0` or
+// `piv == 1` checks an exact sentinel the code itself assigned, which is
+// the established idiom in the simplex kernel. Comparisons with math.Inf
+// or math.NaN calls are likewise sentinel checks (though math.IsInf /
+// math.IsNaN read better and are preferred in review).
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags exact ==/!= between computed float expressions; compare through the solver's tolerance constants",
+	Run:  runFloateq,
+}
+
+func runFloateq(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isComputedFloat(p, be.X) || !isComputedFloat(p, be.Y) {
+				return true
+			}
+			p.Reportf(be.Pos(), "exact %s between floating-point expressions; compare with a tolerance (pivotTol-style) or annotate why exact equality is sound", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isComputedFloat reports whether e is float-typed and neither a
+// compile-time constant nor an explicit infinity/NaN sentinel.
+func isComputedFloat(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value != nil || tv.Type == nil || !isFloat(tv.Type) {
+		return false
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if pkg, name := pkgLevelFunc(p.Info, call.Fun); pkg == "math" && (name == "Inf" || name == "NaN") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestFloateq(t *testing.T) {
+	RunGolden(t, Floateq, "floateq/a")
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags loops that range over a map while doing something
+// order-sensitive: appending to a slice that outlives the loop, writing
+// output, or emitting trace events. Go randomizes map iteration order per
+// run, so any of those leaks nondeterminism straight into solver results,
+// JSONL traces, or golden files.
+//
+// The established repair is the collect-then-sort idiom (range the map into
+// a slice, sort it, then act), which the analyzer recognizes: a sort.* or
+// slices.Sort* call in any enclosing statement list after the loop
+// sanitizes it. Writes into other maps, counters, and similar
+// order-insensitive reductions are never flagged.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map-range loops that append to outer slices, write output, or emit events without a subsequent sort",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Pass) error {
+	for _, f := range p.Files {
+		par := parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			sink := orderSensitiveSink(p, rs)
+			if sink == "" {
+				return true
+			}
+			if sortedAfter(p, par, rs) {
+				return true
+			}
+			p.Reportf(rs.Pos(), "map iteration order leaks into %s; collect keys and sort first (or sort the result before it is observed)", sink)
+			return true
+		})
+	}
+	return nil
+}
+
+// orderSensitiveSink scans the range body and names the first
+// order-sensitive effect it finds, or returns "".
+func orderSensitiveSink(p *Pass, rs *ast.RangeStmt) string {
+	sink := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" && len(call.Args) > 0 {
+				if declaredOutside(p, call.Args[0], rs) {
+					sink = "a slice built up across iterations"
+				}
+				return true
+			}
+		}
+		if pkg, name := pkgLevelFunc(p.Info, call.Fun); pkg == "fmt" &&
+			(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Sprint")) {
+			sink = "formatted output"
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Emit" {
+			sink = "emitted trace events"
+			return true
+		}
+		return true
+	})
+	return sink
+}
+
+// declaredOutside reports whether the root identifier of e names an object
+// declared outside the range statement (so mutations survive the loop).
+// Selector targets (struct fields) always count as outside.
+func declaredOutside(p *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == nil {
+			obj = p.Info.Defs[x]
+		}
+		if obj == nil {
+			return true // unresolved: stay conservative and flag
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	default:
+		return true
+	}
+}
+
+// sortedAfter reports whether any statement after the range loop, in any
+// enclosing statement list, performs a sort — the tail half of the
+// collect-then-sort idiom.
+func sortedAfter(p *Pass, par map[ast.Node]ast.Node, rs *ast.RangeStmt) bool {
+	var child ast.Node = rs
+	for node := par[rs]; node != nil; child, node = node, par[node] {
+		var list []ast.Stmt
+		switch b := node.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		idx := -1
+		for i, st := range list {
+			if st == child {
+				idx = i
+				break
+			}
+		}
+		for i := idx + 1; idx >= 0 && i < len(list); i++ {
+			if containsSortCall(p, list[i]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsSortCall(p *Pass, st ast.Stmt) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := pkgLevelFunc(p.Info, call.Fun)
+		if pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort")) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

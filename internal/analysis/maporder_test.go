@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestMaporder(t *testing.T) {
+	RunGolden(t, Maporder, "maporder/a")
+}

@@ -1,0 +1,30 @@
+// Package a reproduces the seed-state randomness patterns detrand exists
+// to catch: global math/rand draws and clock-seeded generators.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want "use of global math/rand.Intn"
+}
+
+func globalShuffle(xs []int) float64 {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "use of global math/rand.Shuffle"
+	return rand.Float64()                                                 // want "use of global math/rand.Float64"
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from the wall clock"
+}
+
+func sinceSeeded(t0 time.Time) rand.Source {
+	return rand.NewSource(int64(time.Since(t0))) // want "rand.NewSource seeded from the wall clock"
+}
+
+func allowedGlobal() int {
+	//gapvet:allow detrand golden file: demonstrates a justified, reasoned suppression
+	return rand.Intn(3)
+}

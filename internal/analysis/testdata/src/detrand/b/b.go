@@ -1,0 +1,22 @@
+// Package b is the clean counterpart: every draw flows through an
+// injected *rand.Rand minted from an explicit seed, which is exactly the
+// contract detrand enforces. Nothing here may be flagged.
+package b
+
+import "math/rand"
+
+type sampler struct {
+	rng *rand.Rand
+}
+
+func newSampler(seed int64) *sampler {
+	return &sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *sampler) draw(n int) int {
+	return s.rng.Intn(n)
+}
+
+func (s *sampler) perturb(xs []float64) {
+	s.rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,30 @@
+// Package a exercises floateq: exact ==/!= between computed float
+// expressions is flagged, while constant-sentinel checks, infinity
+// sentinels, tolerance comparisons, and integer equality stay silent.
+package a
+
+import "math"
+
+const tol = 1e-9
+
+func exactEq(a, b float64) bool {
+	return a == b // want "exact == between floating-point expressions"
+}
+
+func exactNeq(xs []float64) bool {
+	return xs[0] != xs[1] // want "exact != between floating-point expressions"
+}
+
+func sentinelZero(x float64) bool { return x == 0 }
+
+func sentinelPivot(piv float64) bool { return piv == 1.0 }
+
+func infSentinel(gap float64) bool { return gap == math.Inf(-1) }
+
+func tolerant(a, b float64) bool { return math.Abs(a-b) <= tol }
+
+func intsExact(i, j int) bool { return i == j }
+
+func allowedExact(a, b float64) bool {
+	return a == b //gapvet:allow floateq golden file: exact equality audited and justified
+}

@@ -1,0 +1,75 @@
+// Package a exercises maporder: ranging a map into an outer slice,
+// formatted output, or trace emission is flagged unless a sort follows;
+// order-insensitive reductions and loop-local slices stay silent.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+type emitter struct{}
+
+func (emitter) Emit(ev string) {}
+
+func leakKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order leaks into a slice"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func leakPrint(m map[string]int) {
+	for k, v := range m { // want "map iteration order leaks into formatted output"
+		fmt.Println(k, v)
+	}
+}
+
+func leakConstraintNames(m map[int]float64, add func(string, float64)) {
+	for node, load := range m { // want "map iteration order leaks into formatted output"
+		add(fmt.Sprintf("hose.out%d", node), load)
+	}
+}
+
+func leakTrace(m map[string]int, e emitter) {
+	for k := range m { // want "map iteration order leaks into emitted trace events"
+		e.Emit(k)
+	}
+}
+
+func reduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func allowedLeak(m map[string]int) []string {
+	var keys []string
+	//gapvet:allow maporder golden file: result order deliberately unspecified here
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

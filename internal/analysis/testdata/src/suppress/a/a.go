@@ -1,0 +1,21 @@
+// Package a exercises the suppression machinery itself: a reason-less
+// allow and an unknown-analyzer allow are findings in their own right and
+// do NOT silence the line they sit on; a well-formed allow does. The
+// expectations live in TestSuppressionDiagnostics rather than want
+// comments, because the findings land on the comment lines themselves.
+package a
+
+func missingReason(a, b float64) bool {
+	//gapvet:allow floateq
+	return a == b
+}
+
+func unknownAnalyzer(a, b float64) bool {
+	//gapvet:allow nosuchcheck exact equality audited
+	return a == b
+}
+
+func validSuppression(a, b float64) bool {
+	//gapvet:allow floateq golden file: exact equality audited and justified
+	return a == b
+}

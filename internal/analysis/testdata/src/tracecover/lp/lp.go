@@ -1,0 +1,80 @@
+// Package lp carries a targeted path tail, so tracecover demands that
+// every exported Solve/Run-shaped entry point can receive a tracer —
+// directly, via an options struct, or via an embedded options struct.
+package lp
+
+type Tracer struct{}
+
+type Result struct {
+	Objective float64
+}
+
+type Options struct {
+	MaxIters int
+	Tracer   *Tracer
+}
+
+type LegacyOptions struct {
+	MaxIters int
+}
+
+type SAOptions struct {
+	Options
+	Temp float64
+}
+
+type Problem struct{}
+
+func SolveBare(n int) (*Result, error) { // want "exported entry point SolveBare takes no obs tracer"
+	_ = n
+	return &Result{}, nil
+}
+
+func Run(n int) error { // want "exported entry point Run takes no obs tracer"
+	_ = n
+	return nil
+}
+
+func SolveWithLegacy(opts LegacyOptions) (*Result, error) { // want "exported entry point SolveWithLegacy takes no obs tracer"
+	_ = opts
+	return &Result{}, nil
+}
+
+func (p *Problem) Solve() (*Result, error) { // want "exported entry point Solve takes no obs tracer"
+	return &Result{}, nil
+}
+
+func Climb(budget int) (*Result, error) { // want "exported entry point Climb takes no obs tracer"
+	_ = budget
+	return &Result{}, nil
+}
+
+func SolveWith(opts Options) (*Result, error) {
+	_ = opts
+	return &Result{}, nil
+}
+
+func SolveEmbedded(opts SAOptions) (*Result, error) {
+	_ = opts
+	return &Result{}, nil
+}
+
+func SolveDirect(tr *Tracer, n int) (*Result, error) {
+	_, _ = tr, n
+	return &Result{}, nil
+}
+
+func solveInternal(n int) (*Result, error) {
+	_ = n
+	return &Result{}, nil
+}
+
+func Solvent(s string) string { // not Solve-shaped: lower-case rune after the prefix
+	return s
+}
+
+//gapvet:allow tracecover golden file: legacy entry point kept for compatibility, migration tracked
+func SolveLegacy(n int) (*Result, error) {
+	_ = n
+	return &Result{}, nil
+}

@@ -1,0 +1,31 @@
+// Package milp lives under a denied path tail, so walltime treats it as a
+// solver package: bare clock reads are contraband, structural deadline
+// guards and annotated timing contexts are sanctioned.
+package milp
+
+import "time"
+
+type result struct {
+	elapsed time.Duration
+}
+
+func solveish(work func()) result {
+	start := time.Now() // want "time.Now in solver package"
+	work()
+	return result{elapsed: time.Since(start)} // want "time.Since in solver package"
+}
+
+func deadlineGuard(deadline time.Time, work func()) {
+	for !time.Now().After(deadline) {
+		work()
+	}
+}
+
+func notYet(deadline time.Time) bool {
+	return time.Now().Before(deadline)
+}
+
+func annotatedStall() time.Time {
+	//gapvet:allow walltime golden file: deliberate wall-clock policy, documented at the call site
+	return time.Now()
+}

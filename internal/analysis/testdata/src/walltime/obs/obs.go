@@ -1,0 +1,14 @@
+// Package obs carries a path tail outside walltime's denied set — it
+// models the timing layer itself, which exists to read the clock. Nothing
+// here may be flagged.
+package obs
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

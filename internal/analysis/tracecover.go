@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Tracecover keeps the observability layer from rotting: every exported
+// Solve/Run-shaped entry point in the solver packages must be able to
+// receive the obs tracer — either as a direct parameter or as a field of an
+// options struct it accepts — so new solve paths stay traceable without
+// API surgery. Entry points are matched by name (Solve*, Run*) and by
+// shape (first result a *Result), covering HillClimb-style searches that
+// return the package's Result type under another name.
+var Tracecover = &Analyzer{
+	Name: "tracecover",
+	Doc:  "exported Solve/Run-shaped entry points in solver packages must accept the obs tracer (parameter or options field)",
+	Run:  runTracecover,
+}
+
+// tracecoverTargets keys the packages (by path tail) whose entry points
+// carry the obligation.
+var tracecoverTargets = map[string]bool{
+	"lp":       true,
+	"milp":     true,
+	"blackbox": true,
+}
+
+func runTracecover(p *Pass) error {
+	if !tracecoverTargets[pkgTail(p.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if !entryPointShaped(fd.Name.Name, sig) {
+				continue
+			}
+			if signatureHasTracer(sig) {
+				continue
+			}
+			p.Reportf(fd.Name.Pos(), "exported entry point %s takes no obs tracer; accept one (parameter or options-struct field) so the solve stays observable", fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// entryPointShaped reports whether a function looks like a solver entry
+// point: named Solve*/Run*, or returning the package's *Result first.
+func entryPointShaped(name string, sig *types.Signature) bool {
+	for _, prefix := range []string{"Solve", "Run"} {
+		if rest, ok := strings.CutPrefix(name, prefix); ok {
+			if rest == "" {
+				return true
+			}
+			if r, _ := utf8.DecodeRuneInString(rest); unicode.IsUpper(r) {
+				return true
+			}
+		}
+	}
+	if res := sig.Results(); res.Len() > 0 {
+		if ptr, ok := res.At(0).Type().(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok && named.Obj().Name() == "Result" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// signatureHasTracer reports whether any parameter gives access to a
+// tracer: the parameter itself, a field of a struct parameter, or a field
+// of a struct it embeds.
+func signatureHasTracer(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if typeReachesTracer(params.At(i).Type(), 2) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeReachesTracer(t types.Type, depth int) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if named.Obj().Name() == "Tracer" {
+			return true
+		}
+	}
+	if depth == 0 {
+		return false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if typeReachesTracer(f.Type(), 0) {
+			return true
+		}
+		if f.Embedded() && typeReachesTracer(f.Type(), depth-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestTracecoverFlagging(t *testing.T) {
+	RunGolden(t, Tracecover, "tracecover/lp")
+}
+
+func TestTracecoverNonTargetPackage(t *testing.T) {
+	RunGolden(t, Tracecover, "tracecover/other")
+}

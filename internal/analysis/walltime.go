@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Walltime polices wall-clock reads in the solver packages. The explored
+// branch-and-bound tree and the black-box restart sequence are contractually
+// pure functions of their inputs; a time.Now or time.Since on a result path
+// silently voids that. Inside the packages listed in walltimeDenied the
+// only sanctioned uses are:
+//
+//   - deadline guards — time.Now().After(d) / time.Now().Before(d) — which
+//     decide when to stop, not what to answer, and are recognized
+//     structurally;
+//   - sites annotated //gapvet:allow walltime <reason>, which documents
+//     every deliberate wall-clock dependency (latency budgets, the paper's
+//     stall rule, elapsed-time reporting) at the point it happens.
+//
+// The obs package (the timing layer itself), the experiments harness, test
+// files, and the CLIs are out of scope.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "flags time.Now/time.Since in solver packages outside deadline guards and annotated timing contexts",
+	Run:  runWalltime,
+}
+
+// walltimeDenied keys the solver packages (by path tail) where wall time is
+// contraband. obs, experiments, cmd/* and examples/* are intentionally
+// absent: they exist to measure and report time.
+var walltimeDenied = map[string]bool{
+	"lp":       true,
+	"milp":     true,
+	"kkt":      true,
+	"core":     true,
+	"mcf":      true,
+	"sortnet":  true,
+	"blackbox": true,
+	"demand":   true,
+	"topology": true,
+}
+
+func runWalltime(p *Pass) error {
+	if !walltimeDenied[pkgTail(p.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range p.Files {
+		// First pass: collect clock reads that only feed a deadline guard.
+		guarded := make(map[*ast.CallExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "After" && sel.Sel.Name != "Before") {
+				return true
+			}
+			if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok {
+				if pkg, name := pkgLevelFunc(p.Info, inner.Fun); pkg == "time" && name == "Now" {
+					guarded[inner] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := pkgLevelFunc(p.Info, call.Fun)
+			if pkg != "time" || (name != "Now" && name != "Since") {
+				return true
+			}
+			if guarded[call] {
+				return true
+			}
+			p.Reportf(call.Pos(), "time.%s in solver package %q; wall clock must not shape results — use a deadline guard or annotate the timing context", name, p.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

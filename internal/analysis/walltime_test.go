@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestWalltimeFlagging(t *testing.T) {
+	RunGolden(t, Walltime, "walltime/milp")
+}
+
+func TestWalltimeNonDeniedPackage(t *testing.T) {
+	RunGolden(t, Walltime, "walltime/obs")
+}

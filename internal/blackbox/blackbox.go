@@ -207,10 +207,12 @@ type search struct {
 
 func newSearch(o *Options, method string) *search {
 	return &search{opts: o, method: method, tr: o.Tracer,
+		//gapvet:allow walltime the search clock anchors the Budget contract and trace timestamps
 		start: time.Now(), bestGap: math.Inf(-1)}
 }
 
 func (s *search) expired() bool {
+	//gapvet:allow walltime Budget is an explicit wall-clock latency contract (paper Section 3.4)
 	return s.opts.Budget > 0 && time.Since(s.start) >= s.opts.Budget
 }
 
@@ -233,6 +235,7 @@ func (s *search) observe(d []float64, gap float64) {
 	if gap > s.bestGap {
 		s.bestGap = gap
 		s.best = append([]float64(nil), d...)
+		//gapvet:allow walltime trace timestamps are reporting-only
 		s.trace = append(s.trace, TracePoint{Elapsed: time.Since(s.start), Gap: gap, Evals: s.evals})
 		s.tr.Emit(obs.Event{Kind: obs.KindIncumbent, Source: s.method,
 			Objective: gap, Iters: s.evals})
@@ -244,7 +247,7 @@ func (s *search) result() *Result {
 		Demands: s.best,
 		Gap:     s.bestGap,
 		Evals:   s.evals,
-		Elapsed: time.Since(s.start),
+		Elapsed: time.Since(s.start), //gapvet:allow walltime elapsed-time reporting only
 		Trace:   s.trace,
 	}
 }

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/demand"
@@ -188,7 +189,10 @@ func (ic *InputConstraints) addDemandVars(m *milp.Model, n int) []lp.VarID {
 		}
 	}
 
-	// Hose model: per-node egress/ingress aggregate bounds.
+	// Hose model: per-node egress/ingress aggregate bounds. Constraints are
+	// added in sorted node order: the LP's row order fixes the simplex pivot
+	// sequence (and the dual vector's layout), so ranging over the maps
+	// directly would leak map iteration order into the solve.
 	if h := ic.Hose; h != nil {
 		egress := map[int]lp.Expr{}
 		ingress := map[int]lp.Expr{}
@@ -200,11 +204,11 @@ func (ic *InputConstraints) addDemandVars(m *milp.Model, n int) []lp.VarID {
 				ingress[int(pr.Dst)] = ingress[int(pr.Dst)].Add(dvars[k], 1)
 			}
 		}
-		for node, e := range egress {
-			p.AddConstraint(fmt.Sprintf("hose.out%d", node), e, lp.LE, h.Egress[node])
+		for _, node := range sortedKeys(egress) {
+			p.AddConstraint(fmt.Sprintf("hose.out%d", node), egress[node], lp.LE, h.Egress[node])
 		}
-		for node, e := range ingress {
-			p.AddConstraint(fmt.Sprintf("hose.in%d", node), e, lp.LE, h.Ingress[node])
+		for _, node := range sortedKeys(ingress) {
+			p.AddConstraint(fmt.Sprintf("hose.in%d", node), ingress[node], lp.LE, h.Ingress[node])
 		}
 	}
 
@@ -337,6 +341,17 @@ func (ic *InputConstraints) satisfied(d []float64) bool {
 }
 
 // constantVector returns a length-n vector filled with v.
+// sortedKeys returns m's keys in increasing order, for deterministic
+// iteration over node-indexed maps.
+func sortedKeys(m map[int]lp.Expr) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 func constantVector(n int, v float64) []float64 {
 	out := make([]float64, n)
 	for i := range out {

@@ -17,6 +17,8 @@ import (
 	"math"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Sense is the optimization direction of a Problem.
@@ -270,7 +272,15 @@ type SolveOptions struct {
 	// Deadline, when non-zero, aborts the solve (StatusIterLimit) once the
 	// wall clock passes it; checked every few hundred pivots.
 	Deadline time.Time
+	// Tracer, when non-nil, receives a KindLPSolveStart/KindLPSolveEnd pair
+	// bracketing the solve, with pivot and degeneracy counts on the end
+	// event. Branch and bound deliberately does not forward its tracer
+	// here: node relaxations run on concurrent workers, so milp emits its
+	// LP events on the coordinator in deterministic apply order instead.
+	Tracer *obs.Tracer
 }
 
 // Solve solves the problem with default options.
+//
+//gapvet:allow tracecover zero-options convenience wrapper; SolveWith accepts the tracer
 func (p *Problem) Solve() (*Solution, error) { return p.SolveWith(SolveOptions{}) }

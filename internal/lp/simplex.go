@@ -276,14 +276,20 @@ func (t *tableau) solution(st Status) *Solution {
 	}
 }
 
-// SolveWith solves the problem with the given options and records the solve
-// in the process-wide metrics registry.
+// SolveWith solves the problem with the given options, records the solve
+// in the process-wide metrics registry, and — when opts.Tracer is set —
+// brackets it with LP solve events.
 func (p *Problem) SolveWith(opts SolveOptions) (*Solution, error) {
+	opts.Tracer.Emit(obs.Event{Kind: obs.KindLPSolveStart, Detail: p.Name})
 	sol, err := p.solveWith(opts)
 	if sol != nil {
 		lpSolves.Inc()
 		lpIters.Add(int64(sol.Iterations))
 		lpDegenerate.Add(int64(sol.DegeneratePivots))
+		opts.Tracer.Emit(obs.Event{Kind: obs.KindLPSolveEnd, Iters: sol.Iterations,
+			Degenerate: sol.DegeneratePivots, Status: sol.Status.String()})
+	} else {
+		opts.Tracer.Emit(obs.Event{Kind: obs.KindLPSolveEnd, Status: "error"})
 	}
 	return sol, err
 }

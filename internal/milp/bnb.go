@@ -39,6 +39,9 @@ func (h *nodeHeap) Less(i, j int) bool {
 	if h.depthFirst && a.depth != b.depth {
 		return a.depth > b.depth
 	}
+	// Bounds are copied verbatim from parent relaxations, so exact equality
+	// is the right plateau test for the (bound, id) total order.
+	//gapvet:allow floateq exact tie-break on copied bounds anchors the deterministic pop order
 	if a.bound != b.bound {
 		return a.bound > b.bound
 	}
@@ -87,7 +90,8 @@ type nodeResult struct {
 // coordinator, so a run is reproducible and Workers only changes wall-clock
 // time, never the answer.
 func Solve(m *Model, opts Options) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //gapvet:allow walltime anchors TimeLimit and elapsed-time reporting; never shapes the tree
+
 	dir := 1.0
 	if m.P.Sense() == lp.Minimize {
 		dir = -1
@@ -162,7 +166,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	recordIncumbent := func(obj float64, source string) {
 		bound := dir * bestBound
 		res.Trace = append(res.Trace, TracePoint{
-			Elapsed:   time.Since(start),
+			Elapsed:   time.Since(start), //gapvet:allow walltime trace timestamps are reporting-only
 			Objective: obj,
 			Bound:     bound,
 			Nodes:     res.Nodes,
@@ -173,7 +177,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	}
 
 	finish := func(status Status) *Result {
-		res.Elapsed = time.Since(start)
+		res.Elapsed = time.Since(start) //gapvet:allow walltime elapsed-time reporting only
 		res.Status = status
 		if incumbentX != nil {
 			res.Objective = dir * incumbent
@@ -189,7 +193,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		// (which tightens bestBound to the incumbent) and optimal closure, so
 		// a gap-versus-time plot always ends at the reported gap.
 		if incumbentX != nil && len(res.Trace) > 0 &&
-			res.Trace[len(res.Trace)-1].Bound != res.Bound {
+			res.Trace[len(res.Trace)-1].Bound != res.Bound { //gapvet:allow floateq exact repetition check: skips the closing trace point only when the bound is bit-identical
 			res.Trace = append(res.Trace, TracePoint{
 				Elapsed:   res.Elapsed,
 				Objective: res.Objective,
@@ -258,6 +262,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			infeasibleProven = false
 			break
 		}
+		//gapvet:allow walltime the paper's Section-3.3 stall rule is deliberately a wall-clock policy
 		if opts.StallWindow > 0 && time.Since(windowStart) > opts.StallWindow {
 			improved := incumbent - windowIncumbent
 			rel := math.Abs(improved) / math.Max(1e-12, math.Abs(incumbent))
@@ -269,7 +274,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			}
 			tr.Emit(obs.Event{Kind: obs.KindStall, Objective: rel,
 				Nodes: res.Nodes, Status: "continue"})
-			windowStart = time.Now()
+			windowStart = time.Now() //gapvet:allow walltime stall-rule window anchor (see StallWindow above)
 			windowIncumbent = incumbent
 		}
 
@@ -491,7 +496,7 @@ func pickBranch(m *Model, x []float64, overrides map[lp.VarID][2]float64) (lp.Va
 	if x == nil {
 		fixed := func(v lp.VarID) bool {
 			b, ok := overrides[v]
-			return ok && b[0] == b[1]
+			return ok && b[0] == b[1] //gapvet:allow floateq branching stores identical endpoints when fixing, so equality is exact
 		}
 		for _, v := range m.binaries {
 			if !fixed(v) {

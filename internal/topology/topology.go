@@ -232,6 +232,7 @@ func (g *Graph) shortestPathAvoiding(s, t Node, bannedEdges map[int]bool, banned
 			nh := hops[u] + 1
 			v := e.To
 			better := nd < dist[v]
+			//gapvet:allow floateq exact tie detection picks between equal-weight paths deterministically (fewer hops, lower edge id)
 			if !better && nd == dist[v] {
 				if nh < hops[v] || (nh == hops[v] && prevEdge[v] > id) {
 					better = true
@@ -304,6 +305,7 @@ func (g *Graph) KShortestPaths(s, t Node, k int) []Path {
 		}
 		sort.Slice(candidates, func(a, b int) bool {
 			wa, wb := candidates[a].Weight(g), candidates[b].Weight(g)
+			//gapvet:allow floateq Yen comparator: exact weight ties fall through to the deterministic edge-sequence order
 			if wa != wb {
 				return wa < wb
 			}
