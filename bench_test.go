@@ -268,6 +268,39 @@ func BenchmarkParallelBnBWorkers1(b *testing.B) { runParallelBench(b, 1) }
 // 4 cores; see EXPERIMENTS.md).
 func BenchmarkParallelBnBWorkers4(b *testing.B) { runParallelBench(b, 4) }
 
+func runWarmStartBench(b *testing.B, warm bool) {
+	pr := parallelMetaProblem(b)
+	opts := milp.Options{Workers: 1, Batch: 8, MaxNodes: 64, WarmStart: warm}
+	iters := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pr.Solve(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Solver.Nodes == 0 {
+			b.Fatal("search explored no nodes")
+		}
+		if warm && res.Solver.WarmLPSolves == 0 {
+			b.Fatal("warm-start bench took zero warm solves")
+		}
+		iters += res.Solver.LPIters
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "lp_iters/op")
+}
+
+// BenchmarkBnBWarmStartOff is the cold-resolve reference for the warm-start
+// comparison: the parallel meta problem searched serially with every node
+// relaxation solved from scratch by the two-phase simplex.
+func BenchmarkBnBWarmStartOff(b *testing.B) { runWarmStartBench(b, false) }
+
+// BenchmarkBnBWarmStartOn runs the identical search with each child node
+// warm-started from its parent's optimal basis. The explored tree, incumbent
+// and bound are bit-identical to the cold run (internal/milp's warm tests
+// prove it); compare the lp_iters/op metric against BenchmarkBnBWarmStartOff
+// for the pivot-count savings (>= 2x expected; see EXPERIMENTS.md).
+func BenchmarkBnBWarmStartOn(b *testing.B) { runWarmStartBench(b, true) }
+
 // --- substrate microbenchmarks ---
 
 func b4Instance(b *testing.B) *mcf.Instance {

@@ -59,6 +59,7 @@ func main() {
 	paths := flag.Int("paths", 2, "paths per demand pair")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers per search; 1 = sequential")
+	warmStart := flag.Bool("warmstart", false, "warm-start node LP relaxations from the parent basis (identical results, fewer pivots)")
 	csvOut := flag.String("csv", "", "directory to also write per-figure CSV files into")
 	fromTrace := flag.String("fromtrace", "", "replot a Figure-3 style gap-vs-time curve from a JSONL trace written with -trace")
 	tracePath := flag.String("trace", "", "write a JSONL event trace of the searches to this file")
@@ -81,7 +82,7 @@ func main() {
 	defer finishObs()
 
 	cfg := experiments.Config{Budget: *budget, Pairs: *pairs, Paths: *paths, Seed: *seed,
-		Tracer: tracer, Workers: *workers}
+		Tracer: tracer, Workers: *workers, WarmStart: *warmStart}
 	runners := map[string]func(experiments.Config) error{
 		"1": fig1, "2": fig2, "3": fig3, "4a": fig4a, "4b": fig4b,
 		"5a": fig5a, "5b": fig5b, "6": fig6,

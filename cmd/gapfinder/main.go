@@ -42,6 +42,7 @@ func main() {
 	maxDemand := flag.Float64("maxdemand", 100, "upper bound on each demand")
 	budget := flag.Duration("budget", 10*time.Second, "search budget")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers: node relaxations (whitebox) or restarts (blackbox); 1 = sequential")
+	warmStart := flag.Bool("warmstart", false, "warm-start node LP relaxations from the parent basis (whitebox only; identical results, fewer pivots)")
 	seed := flag.Int64("seed", 1, "random seed")
 	target := flag.Float64("target", 0, "stop at the first input with gap >= target (whitebox only; 0 = off)")
 	diverse := flag.Int("diverse", 1, "number of diverse inputs to find (whitebox only)")
@@ -94,7 +95,7 @@ func main() {
 	switch *method {
 	case "whitebox":
 		runWhitebox(inst, set, *heuristic, *threshold, *partitions, *instantiations,
-			*maxDemand, *budget, *seed, *target, *diverse, *quiet, *workers, tracer)
+			*maxDemand, *budget, *seed, *target, *diverse, *quiet, *workers, *warmStart, tracer)
 	case "hillclimb", "anneal":
 		runBlackbox(inst, set, *heuristic, *method, *threshold, *partitions, *instantiations,
 			*maxDemand, *budget, *seed, *workers, tracer)
@@ -106,7 +107,7 @@ func main() {
 func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic string,
 	threshold float64, partitions, instantiations int, maxDemand float64,
 	budget time.Duration, seed int64, target float64, diverse int, quiet bool,
-	workers int, tracer *obs.Tracer) {
+	workers int, warmStart bool, tracer *obs.Tracer) {
 
 	input := metaopt.InputConstraints{MaxDemand: maxDemand}
 	opts := milp.Options{
@@ -116,6 +117,7 @@ func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic strin
 		StallImprove: 0.005,
 		Tracer:       tracer,
 		Workers:      workers,
+		WarmStart:    warmStart,
 	}
 	if target > 0 {
 		opts.Target = &target
@@ -167,10 +169,13 @@ func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic strin
 }
 
 // printSummary emits the one-line machine-greppable whitebox solve summary.
+// New fields are only ever appended at the end so downstream greps keep
+// working; CI's warm-start smoke test parses this line.
 func printSummary(res *metaopt.GapResult) {
-	fmt.Printf("SUMMARY status=%s gap=%.4f bound=%.4f nodes=%d lp_solves=%d lp_iters=%d wall=%.3fs\n",
+	fmt.Printf("SUMMARY status=%s gap=%.4f bound=%.4f nodes=%d lp_solves=%d lp_iters=%d wall=%.3fs warm_solves=%d warm_fallbacks=%d\n",
 		res.Solver.Status, res.Gap, res.Solver.Bound, res.Solver.Nodes,
-		res.Solver.LPSolves, res.Solver.LPIters, res.Solver.Elapsed.Seconds())
+		res.Solver.LPSolves, res.Solver.LPIters, res.Solver.Elapsed.Seconds(),
+		res.Solver.WarmLPSolves, res.Solver.WarmLPFallbacks)
 }
 
 func runBlackbox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic, method string,

@@ -38,6 +38,7 @@ func main() {
 	maxSplits := flag.Int("maxsplits", 2, "max per-client splits")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "run the OPT/DP/POP solves concurrently when > 1")
+	warmCheck := flag.Bool("warmstart", false, "run the LP warm-start self-check on the OPT inner LP and print a WARMSTART line")
 	verbose := flag.Bool("v", false, "print per-link loads")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
 	metricsDump := flag.Bool("metrics", false, "print a Prometheus-style metrics dump on exit")
@@ -142,6 +143,15 @@ func main() {
 	}
 	fmt.Printf("%-22s total=%9.2f  gap=%8.2f (%.2f%% of OPT)\n",
 		label, pop.Total, opt.Total-pop.Total, 100*(opt.Total-pop.Total)/opt.Total)
+
+	if *warmCheck {
+		rep, err := metaopt.WarmStartSelfCheck(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("WARMSTART opt: cold_iters=%d warm_iters=%d obj_delta=%.2e warm_used=%t\n",
+			rep.ColdIters, rep.WarmIters, rep.ObjDelta, rep.WarmUsed)
+	}
 
 	if *verbose {
 		fmt.Println("\nper-link load (OPT):")

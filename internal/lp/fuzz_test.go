@@ -98,5 +98,32 @@ func FuzzSimplexConsistency(f *testing.F) {
 		if math.Abs(dual-sol.Objective) > 1e-4*(1+math.Abs(sol.Objective)) {
 			t.Fatalf("strong duality violated: primal %v vs dual %v", sol.Objective, dual)
 		}
+		// Warm-start consistency: capture the basis, fix one variable at its
+		// optimal value (a branch-and-bound style child), and require the warm
+		// path to agree with a cold solve of the same child — same status and,
+		// when optimal, the same objective.
+		capt, err := p.SolveWith(SolveOptions{CaptureBasis: true})
+		if err != nil || capt.Status != StatusOptimal || capt.Basis == nil {
+			t.Fatalf("capture re-solve failed: %v status=%v basis=%v", err, capt.Status, capt.Basis)
+		}
+		j := int(data[0]) % nVars
+		v := capt.X[j]
+		ov := map[VarID][2]float64{vars[j]: {v, v}}
+		coldChild, err := p.SolveWith(SolveOptions{BoundOverride: ov})
+		if err != nil {
+			t.Fatalf("cold child: %v", err)
+		}
+		warmChild, err := p.SolveWith(SolveOptions{BoundOverride: ov, WarmStart: capt.Basis})
+		if err != nil {
+			t.Fatalf("warm child: %v", err)
+		}
+		if warmChild.Status != coldChild.Status {
+			t.Fatalf("warm child status %v, cold %v", warmChild.Status, coldChild.Status)
+		}
+		if coldChild.Status == StatusOptimal &&
+			math.Abs(warmChild.Objective-coldChild.Objective) > 1e-6*(1+math.Abs(coldChild.Objective)) {
+			t.Fatalf("warm child objective %v diverged from cold %v (warm=%v fallback=%v)",
+				warmChild.Objective, coldChild.Objective, warmChild.Warm, warmChild.WarmFallback)
+		}
 	})
 }

@@ -219,6 +219,11 @@ const (
 	StatusUnbounded
 	// StatusIterLimit means the iteration cap was hit before convergence.
 	StatusIterLimit
+	// StatusDeadline means SolveOptions.Deadline passed before convergence.
+	// It is deliberately distinct from StatusIterLimit so callers can tell a
+	// timed-out solve (the whole search is out of wall clock) from a node
+	// that merely exhausted its pivot budget.
+	StatusDeadline
 )
 
 func (s Status) String() string {
@@ -229,20 +234,29 @@ func (s Status) String() string {
 		return "infeasible"
 	case StatusUnbounded:
 		return "unbounded"
+	case StatusDeadline:
+		return "deadline"
 	default:
 		return "iteration-limit"
 	}
 }
 
 // Solution is the result of solving a Problem.
+//
+// Contract: X, Dual and Objective are populated only when Status is
+// StatusOptimal. On every other status — StatusInfeasible, StatusUnbounded,
+// StatusIterLimit, StatusDeadline — X and Dual are nil and Objective is
+// zero; only the Status and the effort counters are meaningful. Callers
+// must nil-check X/Dual before indexing into them on non-optimal solves.
 type Solution struct {
 	Status    Status
-	Objective float64   // in the problem's own sense
-	X         []float64 // one value per variable, in AddVar order
+	Objective float64   // in the problem's own sense; valid only when optimal
+	X         []float64 // one value per variable, in AddVar order; nil unless optimal
 	// Dual holds one multiplier per user constraint such that, at optimality,
 	// Objective == sum(Dual[i]*rhs[i]) + contributions of finite variable
 	// bounds. Signs follow the convention: for Maximize, duals of LE rows are
 	// >= 0 and duals of GE rows are <= 0; for Minimize the signs flip.
+	// Nil unless Status is StatusOptimal.
 	Dual       []float64
 	Iterations int
 	// Phase1Iterations is how many of Iterations were spent restoring
@@ -251,6 +265,21 @@ type Solution struct {
 	// DegeneratePivots counts pivots that did not improve the phase
 	// objective — the solver's stalling indicator.
 	DegeneratePivots int
+	// Basis is an opaque snapshot of the terminal simplex basis, populated
+	// only when SolveOptions.CaptureBasis is set and the solve ended
+	// StatusOptimal. Hand it to a later solve of the same Problem (with
+	// different BoundOverride) through SolveOptions.WarmStart. A Basis is
+	// immutable and safe to share across goroutines.
+	Basis *Basis
+	// Warm reports that the solve was completed by the warm-start path
+	// (basis reinstall plus dual-simplex repair) rather than the cold
+	// two-phase method.
+	Warm bool
+	// WarmFallback reports that a warm start was requested but the solve
+	// fell back to the cold path (incompatible standard-form structure,
+	// singular basis, lost dual feasibility, or a repair that failed to
+	// converge). The result is then exactly the cold solve's.
+	WarmFallback bool
 }
 
 // String renders the solution compactly for debugging.
@@ -269,9 +298,22 @@ type SolveOptions struct {
 	// this solve only, leaving the Problem unmodified. Used by branch and
 	// bound to fix variables without cloning the constraint matrix.
 	BoundOverride map[VarID][2]float64
-	// Deadline, when non-zero, aborts the solve (StatusIterLimit) once the
+	// Deadline, when non-zero, aborts the solve (StatusDeadline) once the
 	// wall clock passes it; checked every few hundred pivots.
 	Deadline time.Time
+	// CaptureBasis asks the solver to snapshot the terminal basis into
+	// Solution.Basis on optimal solves, for use as a later WarmStart. Off by
+	// default: the snapshot allocates one int32 per row.
+	CaptureBasis bool
+	// WarmStart, if non-nil, is a Basis captured from a previous solve of
+	// the same Problem (typically the parent node of a branch-and-bound
+	// tree, whose BoundOverride differs only in the fixed variables). The
+	// solver reinstalls the basis against this solve's overrides and repairs
+	// primal feasibility with a dual-simplex phase; whenever the basis is
+	// structurally incompatible or the repair fails it falls back to the
+	// cold two-phase solve, so the answer never depends on whether a warm
+	// start was attempted — only the iteration counters do.
+	WarmStart *Basis
 	// Tracer, when non-nil, receives a KindLPSolveStart/KindLPSolveEnd pair
 	// bracketing the solve, with pivot and degeneracy counts on the end
 	// event. Branch and bound deliberately does not forward its tracer

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -17,6 +18,13 @@ var (
 	lpSolves     = obs.Default.Counter("lp_solves_total")
 	lpIters      = obs.Default.Counter("lp_iterations_total")
 	lpDegenerate = obs.Default.Counter("lp_degenerate_pivots_total")
+	// Warm-start accounting: lp_warm_solves_total counts solves completed by
+	// the basis-reinstall + dual-repair path, lp_warm_fallbacks_total counts
+	// solves where a warm start was requested but the cold two-phase method
+	// produced the answer (structure mismatch, singular basis, or a repair
+	// that did not converge). lp_solves_total covers both kinds.
+	lpWarmSolves    = obs.Default.Counter("lp_warm_solves_total")
+	lpWarmFallbacks = obs.Default.Counter("lp_warm_fallbacks_total")
 )
 
 // Tolerances for the simplex method. They are package-level constants rather
@@ -30,6 +38,41 @@ const (
 
 // errNumerics is returned when the tableau degrades beyond repair.
 var errNumerics = errors.New("lp: numerical failure in simplex")
+
+// statusWarmAbort is an internal sentinel: the warm-start path gave up and
+// the cold two-phase solve must produce the canonical answer. Never escapes
+// this package.
+const statusWarmAbort Status = -1
+
+// warmDualTol bounds how negative a reduced cost may be after reinstalling
+// a parent basis before the snapshot is declared unusable. The parent basis
+// is dual feasible for the child in exact arithmetic (A and c are shared),
+// so anything beyond refactorization noise means the basis does not fit.
+const warmDualTol = 1e-7
+
+// Basis is an opaque snapshot of a terminal simplex basis: the set of basic
+// columns of the standard form, plus a signature of that form's shape so a
+// later solve can tell whether the snapshot is transplantable. Create one
+// with SolveOptions.CaptureBasis; consume it with SolveOptions.WarmStart.
+// A Basis is immutable after creation and safe to share across goroutines
+// (branch-and-bound hands one parent snapshot to both children).
+type Basis struct {
+	cols []int32 // basic columns, ascending
+	sig  uint64  // structure signature of the originating stdForm
+}
+
+// NumBasic reports how many basic columns the snapshot holds (the row count
+// of the standard form it was taken from).
+func (b *Basis) NumBasic() int { return len(b.cols) }
+
+func newBasis(basis []int, sig uint64) *Basis {
+	cols := make([]int32, len(basis))
+	for i, c := range basis {
+		cols[i] = int32(c)
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+	return &Basis{cols: cols, sig: sig}
+}
 
 // stdForm is the computational form: minimize c'x subject to Ax = b, x >= 0,
 // with b >= 0. It also remembers how to map a standard solution back to the
@@ -56,6 +99,20 @@ type stdForm struct {
 	// varMap describes how each user variable maps onto structural columns:
 	// x_user = shift + sign*x[col] (+ negPart handling for free variables).
 	varMap []stdVarMap
+
+	// fixed lists structural columns pinned at zero by a bound override that
+	// fixes a variable whose base problem is unbounded above. Pinning via
+	// column blocking (instead of an upper row) keeps the standard form's
+	// shape independent of such overrides, which is what makes a parent
+	// basis transplantable onto a child that fixes one more variable.
+	fixed []int
+
+	// sig is a hash of everything that determines the standard form's shape
+	// (row/column counts and the column layout), deliberately excluding the
+	// fixed set and all numeric values. Two forms with equal sig from the
+	// same Problem have identical column meanings, so a basis from one is
+	// well-defined in the other.
+	sig uint64
 
 	objConst float64 // constant folded out of the objective by shifts
 	negate   bool    // true when the user problem was Maximize
@@ -108,7 +165,16 @@ func buildStandard(p *Problem, override map[VarID][2]float64) (*stdForm, error) 
 			// x = lo + x', x' >= 0, optionally x' <= hi-lo.
 			vm.shift = lo
 			ncols++
-			if !math.IsInf(hi, 1) {
+			switch {
+			//gapvet:allow floateq branch-and-bound fixings store identical endpoints, so equality is exact
+			case lo == hi && math.IsInf(p.vars[j].hi, 1) && !math.IsInf(p.vars[j].lo, -1):
+				// Fixed by an override while the base problem is unbounded
+				// above: pin the column at zero (it may never enter the
+				// basis) instead of adding an upper row with zero rhs. The
+				// standard form then keeps the base problem's shape — the
+				// warm-start transplant depends on that.
+				s.fixed = append(s.fixed, vm.col)
+			case !math.IsInf(hi, 1):
 				uppers = append(uppers, upperRow{col: vm.col, rhs: hi - lo})
 			}
 		}
@@ -168,6 +234,9 @@ func buildStandard(p *Problem, override map[VarID][2]float64) (*stdForm, error) 
 	// Normalize b >= 0, then append slack/surplus and artificial columns.
 	s.rowFlip = make([]float64, m)
 	s.rowUnit = make([]int, m)
+	for i := range s.rowUnit {
+		s.rowUnit[i] = -1 // -1 = no unit column yet; 0 is a real column index
+	}
 	s.rowUnitSign = make([]float64, m)
 	type extra struct {
 		row  int
@@ -243,11 +312,42 @@ func buildStandard(p *Problem, override map[VarID][2]float64) (*stdForm, error) 
 		s.a[e.row][col] = e.coef
 		// Unit columns with +1 give the cleanest dual read-off; prefer the
 		// artificial when present (GE rows), else the slack.
-		if e.coef > 0 || s.rowUnit[e.row] == 0 && s.rowUnitSign[e.row] == 0 {
+		if e.coef > 0 || s.rowUnit[e.row] == -1 {
 			s.rowUnit[e.row] = col
 			s.rowUnitSign[e.row] = e.coef
 		}
 	}
+
+	// Structure signature: everything that fixes the shape and column layout
+	// of the standard form (never numeric values, never the fixed set — a
+	// child that pins one more column must still match its parent). FNV-1a
+	// over the layout-determining integers.
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		h ^= v
+		h *= fnvPrime
+	}
+	mix(uint64(s.m))
+	mix(uint64(s.n))
+	mix(uint64(s.nStruct))
+	mix(uint64(s.artFrom))
+	mix(uint64(nUser))
+	for _, vm := range s.varMap {
+		mix(uint64(vm.col))
+		mix(uint64(int64(vm.negCol)))
+		mix(math.Float64bits(vm.sign))
+	}
+	for _, u := range uppers {
+		mix(uint64(u.col))
+	}
+	for i := 0; i < m; i++ {
+		mix(math.Float64bits(s.rowFlip[i]))
+	}
+	s.sig = h
 	return s, nil
 }
 
@@ -286,8 +386,17 @@ func (p *Problem) SolveWith(opts SolveOptions) (*Solution, error) {
 		lpSolves.Inc()
 		lpIters.Add(int64(sol.Iterations))
 		lpDegenerate.Add(int64(sol.DegeneratePivots))
+		mode := ""
+		switch {
+		case sol.Warm:
+			lpWarmSolves.Inc()
+			mode = "warm"
+		case sol.WarmFallback:
+			lpWarmFallbacks.Inc()
+			mode = "warm-fallback"
+		}
 		opts.Tracer.Emit(obs.Event{Kind: obs.KindLPSolveEnd, Iters: sol.Iterations,
-			Degenerate: sol.DegeneratePivots, Status: sol.Status.String()})
+			Degenerate: sol.DegeneratePivots, Status: sol.Status.String(), Detail: mode})
 	} else {
 		opts.Tracer.Emit(obs.Event{Kind: obs.KindLPSolveEnd, Status: "error"})
 	}
@@ -299,6 +408,31 @@ func (p *Problem) solveWith(opts SolveOptions) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ws := opts.WarmStart; ws != nil {
+		if ws.sig == s.sig && len(ws.cols) == s.m {
+			if sol := p.solveWarm(s, opts); sol != nil {
+				return sol, nil
+			}
+			// The warm attempt pivots the standard form in place; rebuild it
+			// so the cold solve starts from pristine data and produces exactly
+			// the answer it would have produced with no warm start at all.
+			if s, err = buildStandard(p, opts.BoundOverride); err != nil {
+				return nil, err
+			}
+		}
+		sol, err := p.solveCold(s, opts)
+		if sol != nil {
+			sol.WarmFallback = true
+		}
+		return sol, err
+	}
+	return p.solveCold(s, opts)
+}
+
+// newTableau prepares the mutable solver state for a standard form: iteration
+// budget, deadline, and the blocked set (columns pinned by fixing overrides
+// may never enter a basis).
+func newTableau(s *stdForm, opts SolveOptions) *tableau {
 	t := &tableau{s: s, deadline: opts.Deadline}
 	t.max = opts.MaxIters
 	if t.max <= 0 {
@@ -307,6 +441,18 @@ func (p *Problem) solveWith(opts SolveOptions) (*Solution, error) {
 	t.basis = make([]int, s.m)
 	t.inBasis = make([]bool, s.n)
 	t.blocked = make([]bool, s.n)
+	for _, j := range s.fixed {
+		t.blocked[j] = true
+	}
+	return t
+}
+
+// solveCold runs the canonical two-phase primal simplex on s. Every result a
+// caller can observe — status, point, duals, explored-tree decisions made on
+// top of them — is defined by this path; the warm path must either reproduce
+// it or fall back to it.
+func (p *Problem) solveCold(s *stdForm, opts SolveOptions) (*Solution, error) {
+	t := newTableau(s, opts)
 
 	// Initial basis: for each row pick its +1 unit column (slack for LE,
 	// artificial for GE/EQ).
@@ -345,7 +491,7 @@ func (p *Problem) solveWith(opts SolveOptions) (*Solution, error) {
 		}
 		for j := 0; j < s.nStruct; j++ {
 			i := rowOf[j]
-			if count[j] != 1 || t.basis[i] != -1 || s.a[i][j] <= pivotTol {
+			if count[j] != 1 || t.basis[i] != -1 || s.a[i][j] <= pivotTol || t.blocked[j] {
 				continue
 			}
 			// The column is zero outside row i, so this pivot only rescales
@@ -384,8 +530,8 @@ func (p *Problem) solveWith(opts SolveOptions) (*Solution, error) {
 		t.resetCosts(phase1)
 		st := t.run()
 		t.phase1 = t.iters
-		if st == StatusIterLimit {
-			return t.solution(StatusIterLimit), nil
+		if st == StatusIterLimit || st == StatusDeadline {
+			return t.solution(st), nil
 		}
 		if st != StatusOptimal || t.obj > feasTol {
 			return t.solution(StatusInfeasible), nil
@@ -397,7 +543,7 @@ func (p *Problem) solveWith(opts SolveOptions) (*Solution, error) {
 			}
 			pivoted := false
 			for j := 0; j < s.artFrom; j++ {
-				if !t.inBasis[j] && math.Abs(s.a[i][j]) > pivotTol {
+				if !t.inBasis[j] && !t.blocked[j] && math.Abs(s.a[i][j]) > pivotTol {
 					t.pivot(i, j)
 					pivoted = true
 					break
@@ -413,16 +559,90 @@ func (p *Problem) solveWith(opts SolveOptions) (*Solution, error) {
 		t.blocked[j] = true
 	}
 
-	// Phase 2: the real objective.
+	// Phase 2: the real objective, then the canonical-vertex tie-break.
 	t.resetCosts(s.c)
 	st := t.run()
-
-	sol := t.solution(st)
-	if st == StatusUnbounded {
-		return sol, nil
+	if st == StatusOptimal {
+		st = t.tiebreak()
 	}
-	if st == StatusIterLimit {
-		return sol, nil
+	return finishSolution(p, t, st, opts), nil
+}
+
+// finishSolution turns a terminal tableau into a Solution: effort counters
+// always; primal point, objective, duals and (optionally) the basis snapshot
+// only when the status is optimal, per the Solution contract.
+//
+// Primal extraction is canonical: the tie-break phase (tableau.tiebreak) has
+// already driven the tableau to the unique secondary-weight-minimal vertex of
+// the optimal face, and the point and objective are then recomputed by
+// refactorizing the pristine standard form onto a deterministic completion of
+// that vertex's support. X and Objective are therefore a pure function of
+// (problem data, overrides) — never of the pivot history — which is what lets
+// branch and bound promise an identical explored tree with warm starting on
+// or off. Duals and the captured basis intentionally come from the terminal
+// tableau instead: its basis is dual feasible (a valid certificate and a
+// transplantable warm start), at the price of being path-dependent in the
+// last bits. Nothing that steers the search consumes them.
+func finishSolution(p *Problem, t *tableau, st Status, opts SolveOptions) *Solution {
+	sol := t.solution(st)
+	if st != StatusOptimal {
+		return sol
+	}
+	s := t.s
+
+	// Duals from the terminal tableau: y_i = -(reduced cost of row i's +1
+	// unit column) in the standardized min problem; map through row flips and
+	// problem sense.
+	sol.Dual = make([]float64, len(p.cons))
+	for i := range p.cons {
+		col := s.rowUnit[i]
+		if col < 0 {
+			// No unit column for this row. Unreachable with the current
+			// builder (every row receives a slack or an artificial), but a
+			// zero dual is the safe read-off if that ever changes.
+			continue
+		}
+		y := -t.r[col] / s.rowUnitSign[i]
+		y *= s.rowFlip[i]
+		if s.negate {
+			y = -y
+		}
+		sol.Dual[i] = y
+	}
+	if opts.CaptureBasis {
+		sol.Basis = newBasis(t.basis, s.sig)
+	}
+
+	// Support of the terminal vertex: the basic columns carrying genuinely
+	// positive values. Degenerate basic columns (value ~0) are excluded so
+	// the canonical completion below does not depend on which of a vertex's
+	// many bases the pivot path happened to stop at.
+	var support []int
+	for i, col := range t.basis {
+		if s.b[i] > feasTol {
+			support = append(support, col)
+		}
+	}
+	sort.Ints(support)
+	if s2, err := buildStandard(p, opts.BoundOverride); err == nil {
+		t2 := newTableau(s2, opts)
+		for j := s2.artFrom; j < s2.n; j++ {
+			t2.blocked[j] = true
+		}
+		if t2.installCanonical(support) {
+			t2.resetCosts(s2.c)
+			// Refactorization dust: basic values that came out a hair negative
+			// are exactly zero at the vertex the search terminated on.
+			for i := range s2.b {
+				if s2.b[i] < 0 && s2.b[i] > -feasTol {
+					s2.b[i] = 0
+				}
+			}
+			t2.iters, t2.phase1, t2.degen = t.iters, t.phase1, t.degen
+			t, s = t2, s2
+		}
+		// On a (numerically) singular refactorization fall back to the
+		// terminal tableau itself — still correct, merely not canonical.
 	}
 
 	// Recover the standard-form primal point.
@@ -446,20 +666,7 @@ func (p *Problem) solveWith(opts SolveOptions) (*Solution, error) {
 	} else {
 		sol.Objective = objStd
 	}
-
-	// Duals: y_i = -(reduced cost of row i's +1 unit column) in the
-	// standardized min problem; map through row flips and problem sense.
-	sol.Dual = make([]float64, len(p.cons))
-	for i := range p.cons {
-		col := s.rowUnit[i]
-		y := -t.r[col] / s.rowUnitSign[i]
-		y *= s.rowFlip[i]
-		if s.negate {
-			y = -y
-		}
-		sol.Dual[i] = y
-	}
-	return sol, nil
+	return sol
 }
 
 // resetCosts installs a cost vector and recomputes reduced costs and the
@@ -513,7 +720,7 @@ func (t *tableau) run() Status {
 			return StatusIterLimit
 		}
 		if !t.deadline.IsZero() && t.iters%128 == 0 && time.Now().After(t.deadline) {
-			return StatusIterLimit
+			return StatusDeadline
 		}
 		bland := stall > 2*(s.m+8)
 		pc := t.price(bland)
@@ -626,4 +833,387 @@ func (t *tableau) pivot(pr, pc int) {
 	t.inBasis[t.basis[pr]] = false
 	t.basis[pr] = pc
 	t.inBasis[pc] = true
+}
+
+// tiebreakWeight returns the fixed secondary weight of column j: a generic
+// positive value in [1, 2) derived from the column index alone (splitmix64
+// finalizer), so every solve of every problem uses the same weights. The
+// genericity is what makes the weight-minimal vertex of an optimal face
+// unique in practice.
+func tiebreakWeight(j int) float64 {
+	z := (uint64(j) + 1) * 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return 1 + float64(z>>11)/(1<<53)
+}
+
+// tiebreak drives an optimal tableau to a canonical vertex of its optimal
+// face: the one minimizing the fixed secondary weights of tiebreakWeight.
+// Alternate optima are the reason a warm-started solve can legitimately end
+// at a different vertex than the cold solve — degenerate flow LPs have many
+// optimal flow splits — and branch and bound steers by the vertex, so both
+// paths must agree on which one to report. Entering columns are restricted
+// to reduced cost <= optTol (the optimal face at the current basis; the
+// reduced costs were just refreshed by resetCosts, so dust is one
+// refactorization deep), which keeps the primary objective optimal while the
+// secondary weights strictly improve. A weight-decreasing ray cannot exist
+// (the weights are positive over x >= 0), so the walk ends at a vertex.
+func (t *tableau) tiebreak() Status {
+	s := t.s
+	// Refresh reduced costs from the current basis: the face test below
+	// compares r against optTol, so accumulated pivot dust must go.
+	t.resetCosts(s.c)
+	rw := make([]float64, s.n)
+	for j := range rw {
+		rw[j] = tiebreakWeight(j)
+	}
+	for i, col := range t.basis {
+		wb := tiebreakWeight(col)
+		row := s.a[i]
+		for j := 0; j < s.n; j++ {
+			rw[j] -= wb * row[j]
+		}
+	}
+	for _, col := range t.basis {
+		rw[col] = 0
+	}
+	stall := 0
+	for {
+		if t.iters >= t.max {
+			return StatusIterLimit
+		}
+		if !t.deadline.IsZero() && t.iters%128 == 0 && time.Now().After(t.deadline) {
+			return StatusDeadline
+		}
+		bland := stall > 2*(s.m+8)
+		pc, bestVal := -1, -optTol
+		for j := 0; j < s.n; j++ {
+			if t.inBasis[j] || t.blocked[j] || t.r[j] > optTol {
+				continue
+			}
+			if rw[j] < bestVal {
+				pc, bestVal = j, rw[j]
+				if bland {
+					break // smallest-index candidate
+				}
+			}
+		}
+		if pc == -1 {
+			return StatusOptimal
+		}
+		pr := t.ratio(pc)
+		if pr == -1 {
+			// No leaving row would mean a weight-decreasing ray, which the
+			// positive weights rule out: numerical noise. Stop here.
+			return StatusOptimal
+		}
+		f := rw[pc]
+		t.pivot(pr, pc)
+		t.iters++
+		prow := s.a[pr]
+		for j := 0; j < s.n; j++ {
+			rw[j] -= f * prow[j]
+		}
+		rw[pc] = 0
+		if s.b[pr] > feasTol {
+			stall = 0
+		} else {
+			stall++
+			t.degen++
+		}
+	}
+}
+
+// solveWarm attempts to solve s starting from the parent basis in
+// opts.WarmStart: reinstall the basis by refactorization, then repair primal
+// feasibility with a dual-simplex phase. It returns nil whenever the snapshot
+// turns out to be unusable — the caller then rebuilds the standard form (the
+// attempt pivots s in place) and runs the cold path, so the observable answer
+// never depends on whether a warm start was tried.
+//
+// The install pivots are refactorization, not search: the cold solver pays
+// for them implicitly by keeping its tableau up to date across phase 1, so
+// they are deliberately not counted in Iterations. Only dual-repair, blocked-
+// eviction and primal-cleanup pivots count.
+func (p *Problem) solveWarm(s *stdForm, opts SolveOptions) *Solution {
+	t := newTableau(s, opts)
+	// Artificials may sit in a parent basis (redundant rows hold them at
+	// zero) but must never enter during the repair.
+	for j := s.artFrom; j < s.n; j++ {
+		t.blocked[j] = true
+	}
+	if !t.install(opts.WarmStart.cols) {
+		return nil
+	}
+	t.resetCosts(s.c)
+	// The parent's terminal reduced costs remain valid for the child: A and c
+	// are shared, only b differs (bound overrides move through shifts and
+	// upper-row right-hand sides). A negative reduced cost beyond
+	// refactorization noise therefore means the snapshot does not fit.
+	for j := 0; j < s.n; j++ {
+		if t.inBasis[j] || t.blocked[j] {
+			continue
+		}
+		if t.r[j] < -warmDualTol {
+			return nil
+		}
+	}
+	switch st := t.runDual(); st {
+	case statusWarmAbort, StatusIterLimit:
+		// Abort covers both dual cycling and a row with no entering column.
+		// The latter is a primal-infeasibility certificate, but the cold
+		// phase-1 stays the canonical feasibility oracle; an iteration cap
+		// must likewise produce exactly the cold solver's capped outcome.
+		return nil
+	case StatusDeadline:
+		sol := t.solution(StatusDeadline)
+		sol.Warm = true
+		return sol
+	}
+	// Primal feasible and dual feasible over the unblocked columns. Evict
+	// blocked columns still basic at zero so the cleanup below cannot move a
+	// fixed variable, let the primal method mop up reduced-cost drift from
+	// the refactorization (usually zero pivots), then walk to the canonical
+	// vertex exactly as the cold path does.
+	t.evictBlocked()
+	st := t.run()
+	if st == StatusOptimal {
+		st = t.tiebreak()
+	}
+	switch st {
+	case StatusDeadline:
+		sol := t.solution(StatusDeadline)
+		sol.Warm = true
+		return sol
+	case StatusOptimal, StatusUnbounded:
+		sol := finishSolution(p, t, st, opts)
+		sol.Warm = true
+		return sol
+	default:
+		return nil
+	}
+}
+
+// install refactorizes the tableau onto the given basic column set using
+// Gauss-Jordan elimination with partial pivoting. The snapshot stores a set,
+// not a row pairing: for each column the pivot row is chosen as the unassigned
+// row with the largest magnitude, which both reconstructs a valid pairing
+// whenever one exists and keeps the elimination numerically sane. Returns
+// false when the set is singular (or numerically unusable) for this tableau.
+func (t *tableau) install(cols []int32) bool {
+	s := t.s
+	if len(cols) != s.m {
+		return false
+	}
+	for i := range t.basis {
+		t.basis[i] = -1
+	}
+	assigned := make([]bool, s.m)
+	for _, c32 := range cols {
+		j := int(c32)
+		if j < 0 || j >= s.n || t.inBasis[j] {
+			return false
+		}
+		best, bestAbs := -1, pivotTol
+		for i := 0; i < s.m; i++ {
+			if assigned[i] {
+				continue
+			}
+			if ab := math.Abs(s.a[i][j]); ab > bestAbs {
+				best, bestAbs = i, ab
+			}
+		}
+		if best == -1 {
+			return false
+		}
+		t.gauss(best, j)
+		t.basis[best] = j
+		t.inBasis[j] = true
+		assigned[best] = true
+	}
+	return true
+}
+
+// installCanonical refactorizes the tableau onto the canonical basis of a
+// vertex given its support: the support columns are pivoted in first (they
+// are independent at a vertex), then the basis is completed by scanning all
+// columns in ascending index — unblocked columns first, blocked/artificial
+// filler only for rows nothing else can cover (redundant rows). The result
+// is a pure function of (tableau data, support set), which is what makes the
+// extraction in finishSolution independent of pivot history. Returns false
+// when the support is not extendable to a basis (numerics); the caller then
+// falls back to the terminal tableau.
+func (t *tableau) installCanonical(support []int) bool {
+	s := t.s
+	for i := range t.basis {
+		t.basis[i] = -1
+	}
+	assigned := make([]bool, s.m)
+	placed := 0
+	place := func(j int) bool {
+		best, bestAbs := -1, pivotTol
+		for i := 0; i < s.m; i++ {
+			if assigned[i] {
+				continue
+			}
+			if ab := math.Abs(s.a[i][j]); ab > bestAbs {
+				best, bestAbs = i, ab
+			}
+		}
+		if best == -1 {
+			return false
+		}
+		t.gauss(best, j)
+		t.basis[best] = j
+		t.inBasis[j] = true
+		assigned[best] = true
+		placed++
+		return true
+	}
+	for _, j := range support {
+		if j < 0 || j >= s.n || t.inBasis[j] || !place(j) {
+			return false
+		}
+	}
+	for j := 0; j < s.n && placed < s.m; j++ {
+		if t.inBasis[j] || t.blocked[j] {
+			continue
+		}
+		place(j)
+	}
+	for j := 0; j < s.n && placed < s.m; j++ {
+		if t.inBasis[j] {
+			continue
+		}
+		place(j)
+	}
+	return placed == s.m
+}
+
+// gauss pivots on (pr, pc) updating only the matrix and right-hand side —
+// no reduced-cost or objective bookkeeping, which does not exist yet during
+// install. Negative b entries are expected output: they are exactly the
+// primal infeasibilities the dual phase repairs.
+func (t *tableau) gauss(pr, pc int) {
+	s := t.s
+	prow := s.a[pr]
+	inv := 1 / prow[pc]
+	for j := 0; j < s.n; j++ {
+		prow[j] *= inv
+	}
+	prow[pc] = 1
+	s.b[pr] *= inv
+	for i := 0; i < s.m; i++ {
+		if i == pr {
+			continue
+		}
+		f := s.a[i][pc]
+		if f == 0 {
+			continue
+		}
+		row := s.a[i]
+		for j := 0; j < s.n; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[pc] = 0
+		s.b[i] -= f * s.b[pr]
+	}
+}
+
+// runDual repairs primal feasibility while maintaining dual feasibility — a
+// generalized dual simplex. A row is violated when its basic value is
+// negative (the classic case) or when its basic column is blocked with a
+// positive value (a fixed variable that must be driven back to zero — the
+// "up" case, which is how a child node pivots out the variable its branching
+// fixed while it was basic in the parent). Every choice below is a pure
+// function of the tableau data: largest violation with smallest-row ties,
+// min-ratio entering with smallest-column ties.
+func (t *tableau) runDual() Status {
+	s := t.s
+	stall := 0
+	for {
+		if t.iters >= t.max {
+			return StatusIterLimit
+		}
+		if !t.deadline.IsZero() && t.iters%128 == 0 && time.Now().After(t.deadline) {
+			return StatusDeadline
+		}
+		pr, viol, up := -1, feasTol, false
+		for i := 0; i < s.m; i++ {
+			switch {
+			case s.b[i] < -viol:
+				pr, viol, up = i, -s.b[i], false
+			case s.b[i] > viol && t.blocked[t.basis[i]]:
+				pr, viol, up = i, s.b[i], true
+			}
+		}
+		if pr == -1 {
+			return StatusOptimal
+		}
+		// Entering column: min ratio r[j]/|a[pr][j]| over candidates that move
+		// the leaving variable the right way — a[pr][j] < 0 for the classic
+		// case (variable increases from negative), a[pr][j] > 0 for "up"
+		// (variable decreases to zero). The min-ratio rule keeps r >= 0.
+		dir := 1.0
+		if up {
+			dir = -1
+		}
+		row := s.a[pr]
+		pc, bestRatio := -1, math.Inf(1)
+		for j := 0; j < s.n; j++ {
+			if t.inBasis[j] || t.blocked[j] {
+				continue
+			}
+			d := dir * row[j]
+			if d > -pivotTol {
+				continue
+			}
+			if ratio := t.r[j] / -d; ratio < bestRatio {
+				pc, bestRatio = j, ratio
+			}
+		}
+		if pc == -1 {
+			// No column can repair the violated row: a primal-infeasibility
+			// certificate. Let the cold phase 1 pronounce it.
+			return statusWarmAbort
+		}
+		before := t.obj
+		t.pivot(pr, pc)
+		t.iters++
+		if math.Abs(t.obj-before) <= optTol {
+			t.degen++
+			stall++
+		} else {
+			stall = 0
+		}
+		if stall > 4*(s.m+s.n) {
+			return statusWarmAbort
+		}
+	}
+}
+
+// evictBlocked pivots blocked columns that remain basic (at ~zero after the
+// dual repair) out of the basis, so later primal pivots cannot move a fixed
+// variable off its fixing. A row with no usable replacement keeps its blocked
+// column: every unblocked coefficient there is ~zero, so no later pivot can
+// change that row's value meaningfully.
+func (t *tableau) evictBlocked() {
+	s := t.s
+	for i := 0; i < s.m; i++ {
+		if !t.blocked[t.basis[i]] {
+			continue
+		}
+		for j := 0; j < s.n; j++ {
+			if t.inBasis[j] || t.blocked[j] || math.Abs(s.a[i][j]) <= pivotTol {
+				continue
+			}
+			t.pivot(i, j)
+			t.iters++
+			t.degen++
+			break
+		}
+	}
 }

@@ -57,7 +57,8 @@ func TestCrashBasisRejectsNegativeSingleton(t *testing.T) {
 
 func TestDeadlineAborts(t *testing.T) {
 	// A big LP with an already-expired deadline must return quickly with
-	// the iteration-limit status rather than solving.
+	// StatusDeadline — not StatusIterLimit, which callers treat as "this node
+	// ran out of pivots", a recoverable per-node condition.
 	rng := rand.New(rand.NewSource(7))
 	p := NewProblem("deadline", Maximize)
 	n := 60
@@ -81,8 +82,11 @@ func TestDeadlineAborts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sol.Status != StatusIterLimit {
-		t.Fatalf("status=%v, want iteration-limit on expired deadline", sol.Status)
+	if sol.Status != StatusDeadline {
+		t.Fatalf("status=%v, want deadline on expired deadline", sol.Status)
+	}
+	if sol.X != nil || sol.Dual != nil {
+		t.Fatalf("X/Dual must be nil on a deadline abort per the Solution contract")
 	}
 }
 

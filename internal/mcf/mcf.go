@@ -240,9 +240,9 @@ func BuildInnerMaxFlow(name string, inst *Instance, demandRHS func(k int) kkt.Af
 	return fl
 }
 
-// solveInner solves an InnerLP whose RHS entries are all constants and
-// returns the LP solution.
-func solveInner(in *kkt.InnerLP) (*lp.Solution, []lp.VarID, error) {
+// innerProblem lowers an InnerLP whose RHS entries are all constants into a
+// standalone lp.Problem.
+func innerProblem(in *kkt.InnerLP) (*lp.Problem, []lp.VarID, error) {
 	p := lp.NewProblem(in.Name, lp.Maximize)
 	xs := make([]lp.VarID, in.NumVars)
 	for j := range xs {
@@ -259,11 +259,77 @@ func solveInner(in *kkt.InnerLP) (*lp.Solution, []lp.VarID, error) {
 		}
 		p.AddConstraint(r.Name, e, r.Rel, r.RHS.Const)
 	}
+	return p, xs, nil
+}
+
+// solveInner solves an InnerLP whose RHS entries are all constants and
+// returns the LP solution.
+func solveInner(in *kkt.InnerLP) (*lp.Solution, []lp.VarID, error) {
+	p, xs, err := innerProblem(in)
+	if err != nil {
+		return nil, nil, err
+	}
 	sol, err := p.Solve()
 	if err != nil {
 		return nil, nil, err
 	}
 	return sol, xs, nil
+}
+
+// WarmStartReport summarizes the warm-start self-check of WarmStartSelfCheck.
+type WarmStartReport struct {
+	ColdIters int     // pivots of the cold child solve
+	WarmIters int     // pivots of the warm child solve (dual repair + cleanup)
+	ObjDelta  float64 // warm child objective minus cold child objective
+	WarmUsed  bool    // true when the warm path produced the answer (no fallback)
+}
+
+// WarmStartSelfCheck exercises the lp warm-start path on a real instance: it
+// solves the OPT max-flow inner LP cold while capturing the terminal basis,
+// then pins the largest path-flow variable at its optimal value — exactly the
+// shape of a branch-and-bound child — and solves that child both cold and
+// warm from the captured basis. The two children must agree; the report
+// carries their pivot counts so a CLI can print the warm-start saving.
+func WarmStartSelfCheck(inst *Instance) (*WarmStartReport, error) {
+	vols := inst.Demands.Volumes()
+	fl := BuildInnerMaxFlow("opt", inst, func(k int) kkt.AffineRHS {
+		return kkt.Constant(vols[k])
+	}, 1, nil, 0)
+	p, xs, err := innerProblem(fl.LP)
+	if err != nil {
+		return nil, err
+	}
+	parent, err := p.SolveWith(lp.SolveOptions{CaptureBasis: true})
+	if err != nil {
+		return nil, err
+	}
+	if parent.Status != lp.StatusOptimal || parent.Basis == nil {
+		return nil, fmt.Errorf("mcf: warm-start self-check parent LP %v", parent.Status)
+	}
+	pin := xs[0]
+	for _, x := range xs[1:] {
+		if parent.X[x] > parent.X[pin] {
+			pin = x
+		}
+	}
+	ov := map[lp.VarID][2]float64{pin: {parent.X[pin], parent.X[pin]}}
+	cold, err := p.SolveWith(lp.SolveOptions{BoundOverride: ov})
+	if err != nil {
+		return nil, err
+	}
+	warm, err := p.SolveWith(lp.SolveOptions{BoundOverride: ov, WarmStart: parent.Basis})
+	if err != nil {
+		return nil, err
+	}
+	if warm.Status != cold.Status {
+		return nil, fmt.Errorf("mcf: warm child status %v, cold %v", warm.Status, cold.Status)
+	}
+	return &WarmStartReport{
+		ColdIters: cold.Iterations,
+		WarmIters: warm.Iterations,
+		ObjDelta:  warm.Objective - cold.Objective,
+		WarmUsed:  warm.Warm,
+	}, nil
 }
 
 // SolveMaxFlow solves OptMaxFlow (3): the optimal total flow.

@@ -26,6 +26,12 @@ type node struct {
 	overrides map[lp.VarID][2]float64
 	bound     float64 // parent relaxation objective, in maximize-direction score
 	depth     int
+	// basis is the parent relaxation's terminal basis, used to warm-start
+	// this node's own LP when Options.WarmStart is set. It is created on the
+	// coordinator during the deterministic apply step and immutable after,
+	// so sharing one snapshot between both children is race-free. A nil
+	// basis (root node, unbounded parent) simply solves cold.
+	basis *lp.Basis
 }
 
 type nodeHeap struct {
@@ -147,6 +153,11 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			BoundOverride: nd.overrides,
 			MaxIters:      opts.LPMaxIters,
 			Deadline:      deadline, // zero when no time limit is set
+			// Warm starting changes only how fast a node's relaxation is
+			// solved, never its outcome (lp falls back to the cold path on
+			// any doubt), so the explored tree stays bit-identical.
+			CaptureBasis: opts.WarmStart,
+			WarmStart:    nd.basis, // nil for the root or under a cold run
 		})
 		if r.err != nil || r.sol == nil || r.sol.Status != lp.StatusOptimal {
 			return r
@@ -182,6 +193,13 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		if incumbentX != nil {
 			res.Objective = dir * incumbent
 			res.X = incumbentX
+			// A break path (deadline/MaxNodes/stall) or a drained heap can
+			// leave bestBound at a stale value below an incumbent raised later
+			// in the final wave — polish candidates are not constrained by the
+			// subtree bound of the node that produced them. The incumbent's
+			// score is always a valid bound, so clamp: a negative gap is never
+			// reportable (mirrors the optimality exit's clamp above).
+			bestBound = math.Max(bestBound, incumbent)
 		}
 		if math.IsInf(bestBound, 1) && incumbentX != nil {
 			res.Bound = res.Objective
@@ -346,9 +364,20 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			sol := wr.sol
 			if sol != nil {
 				res.LPIters += sol.Iterations
+				mode := ""
+				switch {
+				case sol.Warm:
+					res.WarmLPSolves++
+					mode = "warm"
+				case sol.WarmFallback:
+					res.WarmLPFallbacks++
+					mode = "warm-fallback"
+					tr.Emit(obs.Event{Kind: obs.KindWarmFallback, Nodes: res.Nodes,
+						Iters: sol.Iterations})
+				}
 				tr.Emit(obs.Event{Kind: obs.KindLPSolveEnd, Nodes: res.Nodes,
 					Iters: sol.Iterations, Degenerate: sol.DegeneratePivots,
-					Status: sol.Status.String()})
+					Status: sol.Status.String(), Detail: mode})
 			}
 			if latePruned {
 				tr.Emit(obs.Event{Kind: obs.KindNodePruned, Nodes: res.Nodes,
@@ -372,6 +401,23 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			case lp.StatusIterLimit:
 				// Keep the node's inherited bound and skip — we cannot evaluate
 				// it, and dropping it silently would break infeasibility proofs.
+				infeasibleProven = false
+				continue
+			case lp.StatusDeadline:
+				// Unlike an iteration-capped node, a deadline abort means the
+				// whole search is out of wall clock, not that this one node was
+				// too hard: skip it (unevaluated nodes void optimality and
+				// infeasibility proofs) and let the wave-boundary deadline
+				// check stop the loop.
+				infeasibleProven = false
+				continue
+			}
+
+			// The Solution contract guarantees X non-nil on StatusOptimal, and
+			// an unbounded sol was nil-ed above; this guard is purely defensive
+			// so a contract violation skips the node instead of panicking in
+			// polish or branching.
+			if sol != nil && sol.X == nil {
 				infeasibleProven = false
 				continue
 			}
@@ -448,7 +494,15 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			}
 
 			// Branch. Children take creation-order ids on the coordinator, so
-			// the heap's tie-break order is reproducible run to run.
+			// the heap's tie-break order is reproducible run to run. Both
+			// children inherit this node's terminal basis (nil when the
+			// relaxation was unbounded or warm starting is off): the child LP
+			// differs from this node's only in the branched bounds, which is
+			// what makes the dual-simplex repair cheap.
+			var childBasis *lp.Basis
+			if sol != nil {
+				childBasis = sol.Basis
+			}
 			mk := func(v lp.VarID, lo, hi float64) *node {
 				ov := make(map[lp.VarID][2]float64, len(nd.overrides)+1)
 				for k, b := range nd.overrides {
@@ -457,7 +511,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 				ov[v] = [2]float64{lo, hi}
 				id := nextID
 				nextID++
-				return &node{id: id, overrides: ov, bound: score, depth: nd.depth + 1}
+				return &node{id: id, overrides: ov, bound: score, depth: nd.depth + 1, basis: childBasis}
 			}
 			if branchVar != -1 {
 				tr.Emit(obs.Event{Kind: obs.KindNodeBranched, Nodes: res.Nodes,

@@ -41,5 +41,17 @@ func FuzzParallelSolve(f *testing.F) {
 		if obj := checkModelFeasible(t, m, par.X); math.Abs(obj-par.Objective) > 1e-5 {
 			t.Fatalf("parallel objective %v does not match its point (%v)", par.Objective, obj)
 		}
+		// Warm starting must leave the explored tree bit-identical: same
+		// objective, bound, node and LP-solve counts as the cold parallel run.
+		warm, err := Solve(m, Options{Workers: 4, DepthFirst: knobs&1 == 1, WarmStart: true})
+		if err != nil {
+			t.Fatalf("warm: %v", err)
+		}
+		if warm.Objective != par.Objective || warm.Bound != par.Bound ||
+			warm.Nodes != par.Nodes || warm.LPSolves != par.LPSolves || warm.Status != par.Status {
+			t.Fatalf("warm run diverged from cold: obj %v vs %v, bound %v vs %v, nodes %d vs %d, lp %d vs %d",
+				warm.Objective, par.Objective, warm.Bound, par.Bound,
+				warm.Nodes, par.Nodes, warm.LPSolves, par.LPSolves)
+		}
 	})
 }

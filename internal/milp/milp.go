@@ -190,6 +190,15 @@ type Options struct {
 	// parallel occupancy but act on staler incumbents, so they may explore
 	// nodes a smaller batch would have pruned.
 	Batch int
+	// WarmStart makes every non-root node warm-start its LP relaxation from
+	// its parent's terminal basis (dual-simplex repair of the one or two
+	// branched bounds) instead of solving cold from scratch. The lp package
+	// falls back to the cold path whenever a snapshot is unusable, so the
+	// explored tree, incumbent, bound, and node counters are bit-identical
+	// with the flag on or off, for any Workers/Batch setting — only the
+	// pivot counts (Result.LPIters, lp_iterations_total) change. See
+	// DESIGN.md, "Warm-started re-solves".
+	WarmStart bool
 	// Seeds are known-feasible solutions installed as incumbents before the
 	// search starts (same contract as Polish: the objective must be
 	// genuinely achievable and the vector is treated opaquely). They
@@ -258,7 +267,12 @@ type Result struct {
 	Nodes     int
 	LPSolves  int
 	LPIters   int // total simplex pivots across all node LP solves
-	Elapsed   time.Duration
+	// WarmLPSolves counts node relaxations completed by the warm-start path;
+	// WarmLPFallbacks counts nodes where a warm start was attempted but the
+	// cold solver produced the answer. Both are zero unless Options.WarmStart.
+	WarmLPSolves    int
+	WarmLPFallbacks int
+	Elapsed         time.Duration
 	// Trace lists every incumbent improvement in time order, closed by a
 	// SourceFinal point when the solve's terminal bound is tighter than the
 	// bound at the last improvement.

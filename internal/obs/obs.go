@@ -61,6 +61,11 @@ const (
 	// KindSolveDone marks the end of a branch-and-bound run with its final
 	// status, objective, bound, and node count.
 	KindSolveDone
+	// KindWarmFallback marks an LP solve where a warm start was requested but
+	// the cold two-phase path produced the answer (incompatible basis, lost
+	// dual feasibility, or a repair that failed to converge). Iters carries
+	// the solve's pivot count.
+	KindWarmFallback
 )
 
 func (k Kind) String() string {
@@ -95,6 +100,8 @@ func (k Kind) String() string {
 		return "phase_end"
 	case KindSolveDone:
 		return "solve_done"
+	case KindWarmFallback:
+		return "warm_fallback"
 	default:
 		return "unknown"
 	}

@@ -135,6 +135,17 @@ func NewInstance(g *Graph, set *DemandSet, numPaths int) (*Instance, error) {
 // SolveMaxFlow solves the optimal total-flow problem (OPT).
 func SolveMaxFlow(inst *Instance) (*Flow, error) { return mcf.SolveMaxFlow(inst) }
 
+// WarmStartReport summarizes a WarmStartSelfCheck run.
+type WarmStartReport = mcf.WarmStartReport
+
+// WarmStartSelfCheck solves the OPT inner LP cold (capturing its basis),
+// re-solves a branch-style child of it both cold and warm, and reports the
+// pivot counts and objective agreement — a quick on-instance sanity check of
+// the lp warm-start path.
+func WarmStartSelfCheck(inst *Instance) (*WarmStartReport, error) {
+	return mcf.WarmStartSelfCheck(inst)
+}
+
 // SolveDemandPinning runs the DP heuristic with the given threshold.
 func SolveDemandPinning(inst *Instance, threshold float64) (*Flow, error) {
 	return mcf.SolveDemandPinning(inst, threshold)
