@@ -8,21 +8,31 @@
 //	figures -fig 4a -pairs 12
 //	figures -fig all
 //	figures -fromtrace out.jsonl          # gap-vs-time rows from a -trace file
+//
+// SIGINT/SIGTERM interrupt the searches cooperatively: rows computed so far
+// are printed, a SUMMARY line marks the run interrupted, and the exit code
+// is 3 (a second signal kills immediately).
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
+
+// exitInterrupted is the distinct exit code for runs stopped by a signal.
+const exitInterrupted = 3
 
 // csvDir, when set, receives one CSV file per figure alongside the printed
 // tables, so the series can be plotted directly.
@@ -52,7 +62,9 @@ func writeCSV(name string, header []string, rows [][]string) error {
 	return w.Error()
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4a, 4b, 5a, 5b, 6, all")
 	budget := flag.Duration("budget", 5*time.Second, "wall-clock budget per search")
 	pairs := flag.Int("pairs", 10, "demand-support restriction for meta optimizations (-1 = all pairs)")
@@ -72,7 +84,7 @@ func main() {
 		if err := figFromTrace(*fromTrace); err != nil {
 			log.Fatalf("fromtrace: %v", err)
 		}
-		return
+		return 0
 	}
 
 	tracer, finishObs, err := obs.SetupCLI(*tracePath, *metricsDump, *pprofAddr, os.Stdout)
@@ -81,8 +93,35 @@ func main() {
 	}
 	defer finishObs()
 
+	// First signal cancels the running searches cooperatively (each returns
+	// its best-so-far incumbent); restoring the default disposition lets a
+	// second signal kill the process hard.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
+	// finish reports how a figure ended. An error after an interrupt is the
+	// interrupt's doing (a cancelled search can miss incumbents a full run
+	// finds), so partial output plus the SUMMARY line beats dying silently.
+	finish := func(name string, err error) int {
+		if ctx.Err() != nil {
+			if err != nil {
+				fmt.Printf("figure %s aborted: %v\n", name, err)
+			}
+			fmt.Printf("SUMMARY fig=%s status=interrupted (rows above are best-so-far)\n", name)
+			return exitInterrupted
+		}
+		if err != nil {
+			log.Fatalf("figure %s: %v", name, err)
+		}
+		return 0
+	}
+
 	cfg := experiments.Config{Budget: *budget, Pairs: *pairs, Paths: *paths, Seed: *seed,
-		Tracer: tracer, Workers: *workers, WarmStart: *warmStart}
+		Tracer: tracer, Workers: *workers, WarmStart: *warmStart, Ctx: ctx}
 	runners := map[string]func(experiments.Config) error{
 		"1": fig1, "2": fig2, "3": fig3, "4a": fig4a, "4b": fig4b,
 		"5a": fig5a, "5b": fig5b, "6": fig6,
@@ -90,21 +129,19 @@ func main() {
 	if *fig == "all" {
 		for _, name := range []string{"1", "2", "3", "4a", "4b", "5a", "5b", "6"} {
 			fmt.Printf("==== figure %s ====\n", name)
-			if err := runners[name](cfg); err != nil {
-				log.Fatalf("figure %s: %v", name, err)
+			if code := finish(name, runners[name](cfg)); code != 0 {
+				return code
 			}
 			fmt.Println()
 		}
-		return
+		return 0
 	}
-	run, ok := runners[*fig]
+	runner, ok := runners[*fig]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
-		os.Exit(2)
+		return 2
 	}
-	if err := run(cfg); err != nil {
-		log.Fatalf("figure %s: %v", *fig, err)
-	}
+	return finish(*fig, runner(cfg))
 }
 
 // figFromTrace replots the Figure-3 gap-versus-time curve from a JSONL

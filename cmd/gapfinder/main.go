@@ -7,27 +7,55 @@
 //	gapfinder -topo b4 -heuristic dp -threshold 5 -pairs 12 -budget 10s
 //	gapfinder -topo swan -heuristic pop -partitions 3 -method anneal
 //	gapfinder -heuristic dp -target 80        # stop at the first input with gap >= 80
+//	gapfinder -heuristic dp -checkpoint s.ckpt          # crash-safe search
+//	gapfinder -heuristic dp -checkpoint s.ckpt -resume s.ckpt   # continue it
+//
+// SIGINT/SIGTERM interrupt the search cooperatively: the best-so-far result
+// and its SUMMARY line are still printed, and the process exits with code 3
+// (a second signal kills immediately). With -checkpoint set, a killed run
+// can be resumed with -resume from the same flags; the resumed search
+// explores the exact tree the uninterrupted run would have.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	metaopt "repro"
 	"repro/internal/blackbox"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/mcf"
 	"repro/internal/milp"
 	"repro/internal/obs"
 )
 
-func main() {
+// exitInterrupted is the distinct exit code for searches stopped by a
+// signal or a cancelled context; the SUMMARY line is printed first.
+const exitInterrupted = 3
+
+// robustness bundles the crash-safety knobs threaded into every search.
+type robustness struct {
+	ctx        context.Context
+	checkpoint string
+	every      int
+	faults     *faultinject.Plan
+	snap       *checkpoint.Snapshot
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var topoFlag string
 	flag.StringVar(&topoFlag, "topo", "b4", "topology: b4, abilene, swan, figure1, circle-N-M")
 	flag.StringVar(&topoFlag, "topology", "b4", "alias for -topo")
@@ -52,6 +80,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
 	metricsDump := flag.Bool("metrics", false, "print a Prometheus-style metrics dump on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
+	ckptPath := flag.String("checkpoint", "", "write a crash-safe checkpoint to this file (atomic replace: whitebox wave state or blackbox restart ledger)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint every N completed waves (whitebox) or restarts (blackbox); 0 = every one")
+	resumePath := flag.String("resume", "", "resume from this checkpoint file; rerun with the same model flags as the checkpointed run")
+	faultSpec := flag.String("faults", "", "deterministic fault-injection plan, e.g. lp-solve:3,ckpt-write:1,deadline:2 (crash-safety testing)")
+	restarts := flag.Int("restarts", 0, "blackbox restart cap (0 = restart until -budget expires; -checkpoint needs > 0)")
 	flag.Parse()
 	reportPath = *report
 
@@ -60,6 +93,29 @@ func main() {
 		log.Fatal(err)
 	}
 	defer finishObs()
+
+	// First signal cancels the search cooperatively; restoring the default
+	// disposition right after lets a second signal kill the process hard.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
+	rb := robustness{ctx: ctx, checkpoint: *ckptPath, every: *ckptEvery}
+	if *faultSpec != "" {
+		rb.faults, err = faultinject.Parse(*faultSpec, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *resumePath != "" {
+		rb.snap, err = checkpoint.Load(*resumePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	g, err := metaopt.TopologyByName(*topoName)
 	if err != nil {
@@ -89,35 +145,49 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("largest threshold with worst-case gap <= %.2f: %.3f\n", *safeEps, safe)
-		return
+		return 0
 	}
 
+	interrupted := false
 	switch *method {
 	case "whitebox":
-		runWhitebox(inst, set, *heuristic, *threshold, *partitions, *instantiations,
-			*maxDemand, *budget, *seed, *target, *diverse, *quiet, *workers, *warmStart, tracer)
+		interrupted = runWhitebox(inst, set, *heuristic, *threshold, *partitions, *instantiations,
+			*maxDemand, *budget, *seed, *target, *diverse, *quiet, *workers, *warmStart, tracer, rb)
 	case "hillclimb", "anneal":
-		runBlackbox(inst, set, *heuristic, *method, *threshold, *partitions, *instantiations,
-			*maxDemand, *budget, *seed, *workers, tracer)
+		interrupted = runBlackbox(inst, set, *heuristic, *method, *threshold, *partitions, *instantiations,
+			*maxDemand, *budget, *seed, *workers, *restarts, tracer, rb)
 	default:
 		log.Fatalf("unknown method %q", *method)
 	}
+	if interrupted {
+		if *ckptPath != "" {
+			fmt.Printf("interrupted: best-so-far result above; continue with -resume %s\n", *ckptPath)
+		} else {
+			fmt.Println("interrupted: best-so-far result above (run with -checkpoint to make searches resumable)")
+		}
+		return exitInterrupted
+	}
+	return 0
 }
 
 func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic string,
 	threshold float64, partitions, instantiations int, maxDemand float64,
 	budget time.Duration, seed int64, target float64, diverse int, quiet bool,
-	workers int, warmStart bool, tracer *obs.Tracer) {
+	workers int, warmStart bool, tracer *obs.Tracer, rb robustness) bool {
 
 	input := metaopt.InputConstraints{MaxDemand: maxDemand}
 	opts := milp.Options{
-		TimeLimit:    budget,
-		DepthFirst:   true,
-		StallWindow:  budget / 3,
-		StallImprove: 0.005,
-		Tracer:       tracer,
-		Workers:      workers,
-		WarmStart:    warmStart,
+		TimeLimit:       budget,
+		DepthFirst:      true,
+		StallWindow:     budget / 3,
+		StallImprove:    0.005,
+		Tracer:          tracer,
+		Workers:         workers,
+		WarmStart:       warmStart,
+		Ctx:             rb.ctx,
+		Checkpoint:      rb.checkpoint,
+		CheckpointEvery: rb.every,
+		Faults:          rb.faults,
 	}
 	if target > 0 {
 		opts.Target = &target
@@ -127,29 +197,45 @@ func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic strin
 			fmt.Printf("  "+format+"\n", args...)
 		}
 	}
+	var resume *checkpoint.BnBState
+	if rb.snap != nil {
+		if rb.snap.BnB == nil {
+			log.Fatal("gapfinder: checkpoint does not hold a white-box snapshot (was it written by a blackbox method?)")
+		}
+		resume = rb.snap.BnB
+	}
 	for i := 0; i < diverse; i++ {
 		var res *metaopt.GapResult
 		var err error
 		switch heuristic {
 		case "dp":
 			pr := &core.DPGapProblem{Inst: inst, Threshold: threshold, Input: input}
-			res, err = pr.Solve(opts)
+			if i == 0 && resume != nil {
+				res, err = pr.Resume(resume, opts)
+			} else {
+				res, err = pr.Solve(opts)
+			}
 		case "pop":
 			pr := &core.POPGapProblem{
 				Inst: inst, Partitions: partitions, Instantiations: instantiations,
 				Rng: rand.New(rand.NewSource(seed + 7)), Input: input,
 			}
-			res, err = pr.Solve(opts)
+			if i == 0 && resume != nil {
+				res, err = pr.Resume(resume, opts)
+			} else {
+				res, err = pr.Solve(opts)
+			}
 		default:
 			log.Fatalf("unknown heuristic %q", heuristic)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
+		interrupted := res.Solver.Status == milp.StatusInterrupted
 		if res.Demands == nil {
 			fmt.Printf("no adversarial input found (%v)\n", res.Solver.Status)
 			printSummary(res)
-			return
+			return interrupted
 		}
 		fmt.Printf("result #%d: gap=%.2f (normalized %.4f)  OPT=%.2f  heuristic=%.2f\n",
 			i+1, res.Gap, res.NormalizedGap, res.OptValue, res.HeurValue)
@@ -161,11 +247,15 @@ func runWhitebox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic strin
 			res.Stats.Vars, res.Stats.LinearCons, res.Stats.SOSPairs, res.Stats.Binaries)
 		printDemands(set, res.Demands, threshold, heuristic)
 		writeReport(inst.G, set, heuristic, threshold, res, i+1)
+		if interrupted {
+			return true
+		}
 		if i+1 < diverse {
 			input.Exclusions = append(input.Exclusions, res.Demands)
 			input.ExclusionRadius = maxDemand / 10
 		}
 	}
+	return false
 }
 
 // printSummary emits the one-line machine-greppable whitebox solve summary.
@@ -180,7 +270,7 @@ func printSummary(res *metaopt.GapResult) {
 
 func runBlackbox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic, method string,
 	threshold float64, partitions, instantiations int, maxDemand float64,
-	budget time.Duration, seed int64, workers int, tracer *obs.Tracer) {
+	budget time.Duration, seed int64, workers, restarts int, tracer *obs.Tracer, rb robustness) bool {
 
 	var gapFn blackbox.GapFunc
 	switch heuristic {
@@ -196,27 +286,49 @@ func runBlackbox(inst *metaopt.Instance, set *metaopt.DemandSet, heuristic, meth
 	default:
 		log.Fatalf("unknown heuristic %q", heuristic)
 	}
+	if rb.checkpoint != "" && restarts <= 0 {
+		log.Fatal("gapfinder: -checkpoint with a blackbox method needs -restarts > 0 (the ledger replays a fixed seed sequence)")
+	}
 	base := blackbox.Options{
 		MaxDemand: maxDemand, Sigma: maxDemand / 10, K: 100,
-		Budget: budget, Rng: rand.New(rand.NewSource(seed)),
+		Budget: budget, Restarts: restarts, Rng: rand.New(rand.NewSource(seed)),
 		Tracer: tracer, Workers: workers,
+		Ctx: rb.ctx, Checkpoint: rb.checkpoint, CheckpointEvery: rb.every,
+		CheckpointFS: faultinject.WrapFS(nil, rb.faults),
 	}
 	var res *blackbox.Result
 	var err error
-	if method == "hillclimb" {
+	saOpts := blackbox.SAOptions{Options: base, T0: 500, Gamma: 0.1, KP: 100}
+	switch {
+	case rb.snap != nil:
+		if rb.snap.Blackbox == nil {
+			log.Fatal("gapfinder: checkpoint does not hold a blackbox snapshot (was it written by the whitebox method?)")
+		}
+		if method == "hillclimb" {
+			res, err = blackbox.ResumeHillClimb(gapFn, set.Len(), base, rb.snap.Blackbox)
+		} else {
+			res, err = blackbox.ResumeSimulatedAnneal(gapFn, set.Len(), saOpts, rb.snap.Blackbox)
+		}
+	case method == "hillclimb":
 		res, err = blackbox.HillClimb(gapFn, set.Len(), base)
-	} else {
-		res, err = blackbox.SimulatedAnneal(gapFn, set.Len(),
-			blackbox.SAOptions{Options: base, T0: 500, Gamma: 0.1, KP: 100})
+	default:
+		res, err = blackbox.SimulatedAnneal(gapFn, set.Len(), saOpts)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	status := "ok"
+	if res.Interrupted {
+		status = "interrupted"
+	}
 	fmt.Printf("result: gap=%.2f after %d evaluations in %v\n",
 		res.Gap, res.Evals, res.Elapsed.Round(time.Millisecond))
-	fmt.Printf("SUMMARY method=%s gap=%.4f evals=%d wall=%.3fs\n",
-		method, res.Gap, res.Evals, res.Elapsed.Seconds())
-	printDemands(set, res.Demands, threshold, heuristic)
+	fmt.Printf("SUMMARY method=%s gap=%.4f evals=%d wall=%.3fs status=%s\n",
+		method, res.Gap, res.Evals, res.Elapsed.Seconds(), status)
+	if res.Demands != nil {
+		printDemands(set, res.Demands, threshold, heuristic)
+	}
+	return res.Interrupted
 }
 
 // reportPath, when set, receives a markdown report of every white-box

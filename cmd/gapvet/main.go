@@ -1,6 +1,6 @@
 // Command gapvet is the project's multichecker: it runs the gapvet
-// analyzer suite (detrand, walltime, floateq, maporder, tracecover) over
-// the given package patterns and exits nonzero on any finding, optionally
+// analyzer suite (detrand, walltime, floateq, maporder, tracecover,
+// ctxflow) over the given package patterns and exits nonzero on any finding, optionally
 // running stock `go vet` first so one invocation covers both layers.
 //
 // Usage:

@@ -6,22 +6,36 @@
 //
 //	tesolve -topo abilene -model gravity -peak 40
 //	tesolve -topo b4 -model uniform -hi 30 -threshold 10 -partitions 3
+//
+// A SUMMARY line (machine-greppable, fields append-only) closes every run.
+// SIGINT/SIGTERM are caught: the solves that already finished are reported,
+// the SUMMARY line carries status=interrupted, and the exit code is 3 (a
+// second signal kills immediately).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"syscall"
 
 	metaopt "repro"
 	"repro/internal/obs"
 )
 
-func main() {
+// exitInterrupted is the distinct exit code for runs stopped by a signal.
+const exitInterrupted = 3
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var topoFlag string
 	flag.StringVar(&topoFlag, "topo", "abilene", "topology: b4, abilene, swan, figure1, circle-N-M")
 	flag.StringVar(&topoFlag, "topology", "abilene", "alias for -topo")
@@ -50,6 +64,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer finishObs()
+
+	// First signal asks for a graceful stop (partial results + SUMMARY);
+	// restoring the default disposition lets a second one kill hard.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
 
 	g, err := metaopt.TopologyByName(*topoName)
 	if err != nil {
@@ -144,6 +167,19 @@ func main() {
 	fmt.Printf("%-22s total=%9.2f  gap=%8.2f (%.2f%% of OPT)\n",
 		label, pop.Total, opt.Total-pop.Total, 100*(opt.Total-pop.Total)/opt.Total)
 
+	// One machine-greppable line per run; new fields are only ever appended.
+	// An infeasible DP prints NaN totals so the field count stays fixed.
+	dpTotal, dpGap := math.NaN(), math.NaN()
+	if dpFeasible {
+		dpTotal, dpGap = dp.Total, opt.Total-dp.Total
+	}
+	status := "ok"
+	if ctx.Err() != nil {
+		status = "interrupted"
+	}
+	fmt.Printf("SUMMARY opt=%.4f dp=%.4f dp_gap=%.4f pop=%.4f pop_gap=%.4f status=%s\n",
+		opt.Total, dpTotal, dpGap, pop.Total, opt.Total-pop.Total, status)
+
 	if *warmCheck {
 		rep, err := metaopt.WarmStartSelfCheck(inst)
 		if err != nil {
@@ -161,4 +197,8 @@ func main() {
 			fmt.Printf("  %2d->%-2d %8.2f / %.0f\n", edge.From, edge.To, loads[e], edge.Capacity)
 		}
 	}
+	if ctx.Err() != nil {
+		return exitInterrupted
+	}
+	return 0
 }

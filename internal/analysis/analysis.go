@@ -18,6 +18,9 @@
 //   - tracecover: exported Solve/Run-shaped entry points in the solver
 //     packages accept the obs tracer, so PR 1's observability layer cannot
 //     rot out of new code paths.
+//   - ctxflow: the same entry points accept a context.Context (parameter
+//     or options-struct field), so the crash-safe-search cancellation
+//     contract cannot rot out of new solve paths either.
 //
 // The vocabulary (Analyzer, Pass, Diagnostic) deliberately mirrors
 // golang.org/x/tools/go/analysis so the suite can be ported to a stock
@@ -88,7 +91,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full gapvet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Walltime, Floateq, Maporder, Tracecover}
+	return []*Analyzer{Detrand, Walltime, Floateq, Maporder, Tracecover, Ctxflow}
 }
 
 // RunAnalyzers runs every analyzer over every package, applies

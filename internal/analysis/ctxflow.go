@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow guards the cancellation contract introduced with crash-safe
+// search: every exported Solve/Run-shaped entry point in the solver
+// packages must be able to receive a context.Context — either as a direct
+// parameter or as a field of an options struct it accepts (embedded
+// options structs count) — so new solve paths stay cancellable without API
+// surgery. Entry points are matched exactly like tracecover: by name
+// (Solve*, Run*) and by shape (first result a *Result).
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported Solve/Run-shaped entry points in solver packages must accept a context.Context (parameter or options field)",
+	Run:  runCtxflow,
+}
+
+// ctxflowTargets keys the packages (by path tail) whose entry points carry
+// the obligation — the same set tracecover gates.
+var ctxflowTargets = map[string]bool{
+	"lp":       true,
+	"milp":     true,
+	"blackbox": true,
+}
+
+func runCtxflow(p *Pass) error {
+	if !ctxflowTargets[pkgTail(p.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if !entryPointShaped(fd.Name.Name, sig) {
+				continue
+			}
+			if signatureHasContext(sig) {
+				continue
+			}
+			p.Reportf(fd.Name.Pos(), "exported entry point %s takes no context.Context; accept one (parameter or options-struct field) so the solve stays cancellable", fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// signatureHasContext reports whether any parameter gives access to a
+// context.Context: the parameter itself, a field of a struct parameter, or
+// a field of a struct it embeds.
+func signatureHasContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if typeReachesContext(params.At(i).Type(), 2) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeReachesContext(t types.Type, depth int) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			return true
+		}
+	}
+	if depth == 0 {
+		return false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if typeReachesContext(f.Type(), 0) {
+			return true
+		}
+		if f.Embedded() && typeReachesContext(f.Type(), depth-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestCtxflowFlagging(t *testing.T) {
+	RunGolden(t, Ctxflow, "ctxflow/milp")
+}
+
+func TestCtxflowNonTargetPackage(t *testing.T) {
+	RunGolden(t, Ctxflow, "ctxflow/other")
+}

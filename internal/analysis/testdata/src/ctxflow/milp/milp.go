@@ -1,0 +1,81 @@
+// Package milp carries a targeted path tail, so ctxflow demands that
+// every exported Solve/Run-shaped entry point can receive a
+// context.Context — directly, via an options struct, or via an embedded
+// options struct.
+package milp
+
+import "context"
+
+type Result struct {
+	Objective float64
+}
+
+type Options struct {
+	MaxNodes int
+	Ctx      context.Context
+}
+
+type LegacyOptions struct {
+	MaxNodes int
+}
+
+type SAOptions struct {
+	Options
+	Temp float64
+}
+
+type Model struct{}
+
+func SolveBare(n int) (*Result, error) { // want "exported entry point SolveBare takes no context.Context"
+	_ = n
+	return &Result{}, nil
+}
+
+func Run(n int) error { // want "exported entry point Run takes no context.Context"
+	_ = n
+	return nil
+}
+
+func SolveWithLegacy(opts LegacyOptions) (*Result, error) { // want "exported entry point SolveWithLegacy takes no context.Context"
+	_ = opts
+	return &Result{}, nil
+}
+
+func (m *Model) Solve() (*Result, error) { // want "exported entry point Solve takes no context.Context"
+	return &Result{}, nil
+}
+
+func Climb(budget int) (*Result, error) { // want "exported entry point Climb takes no context.Context"
+	_ = budget
+	return &Result{}, nil
+}
+
+func SolveWith(opts Options) (*Result, error) {
+	_ = opts
+	return &Result{}, nil
+}
+
+func SolveEmbedded(opts SAOptions) (*Result, error) {
+	_ = opts
+	return &Result{}, nil
+}
+
+func SolveDirect(ctx context.Context, n int) (*Result, error) {
+	_, _ = ctx, n
+	return &Result{}, nil
+}
+
+func solveInternal(n int) (*Result, error) {
+	_ = n
+	return &Result{}, nil
+}
+
+func Solvent(s string) string { // not Solve-shaped: lower-case rune after the prefix
+	return s
+}
+
+//gapvet:allow ctxflow golden file: legacy entry point kept for compatibility, migration tracked
+func SolveLegacy(n int) (*Result, error) {
+	_ = n
+	return &Result{}, nil
+}

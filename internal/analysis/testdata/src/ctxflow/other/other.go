@@ -1,0 +1,17 @@
+// Package other carries a path tail outside ctxflow's target set, so its
+// context-less entry points are not obligated. Nothing here may be
+// flagged.
+package other
+
+type Result struct {
+	Value float64
+}
+
+func SolveAnything(n int) (*Result, error) {
+	_ = n
+	return &Result{}, nil
+}
+
+func RunForever() error {
+	return nil
+}

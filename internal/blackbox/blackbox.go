@@ -5,6 +5,7 @@
 package blackbox
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/mcf"
 	"repro/internal/obs"
 )
@@ -106,6 +108,10 @@ type Result struct {
 	Evals   int
 	Elapsed time.Duration
 	Trace   []TracePoint
+	// Interrupted is set when Options.Ctx was cancelled before the search
+	// ran out of restarts or budget. Gap/Demands/Trace are still the valid
+	// best-so-far; a budget expiry is a normal finish, not an interruption.
+	Interrupted bool
 }
 
 // Options tunes both local searches. The paper's settings: Sigma is 10% of
@@ -142,6 +148,24 @@ type Options struct {
 	// and incumbent events (Source = "hill" or "anneal") whenever the best
 	// known gap improves.
 	Tracer *obs.Tracer
+	// Ctx, if non-nil, cancels the search cooperatively: the best-so-far
+	// result is returned with Result.Interrupted set.
+	Ctx context.Context
+	// Checkpoint, if non-empty, persists the restart ledger to this path
+	// after completed restarts, atomically, so ResumeHillClimb /
+	// ResumeSimulatedAnneal can finish a killed run with the identical Gap,
+	// Demands and Evals. Checkpointing requires a positive Restarts cap and
+	// selects the per-restart-seeded engine even at Workers <= 1 (that
+	// engine's restart streams are what the ledger replays), so enabling it
+	// changes which deterministic stream a given seed produces — but the
+	// result is still a pure function of (seed, Restarts).
+	Checkpoint string
+	// CheckpointEvery writes the ledger every k completed restarts
+	// (default: every one).
+	CheckpointEvery int
+	// CheckpointFS overrides the filesystem used for checkpoint writes; nil
+	// selects the OS. The fault injector wraps this seam.
+	CheckpointFS checkpoint.FS
 }
 
 func (o *Options) validate() error {
@@ -159,6 +183,9 @@ func (o *Options) validate() error {
 	}
 	if o.Rng == nil {
 		return fmt.Errorf("blackbox: need a seeded Rng")
+	}
+	if o.Checkpoint != "" && o.Restarts <= 0 {
+		return fmt.Errorf("blackbox: Checkpoint requires a positive Restarts cap (the ledger replays a fixed seed sequence)")
 	}
 	return nil
 }
@@ -216,6 +243,16 @@ func (s *search) expired() bool {
 	return s.opts.Budget > 0 && time.Since(s.start) >= s.opts.Budget
 }
 
+// cancelled reports cooperative cancellation; unlike a budget expiry it
+// marks the result Interrupted.
+func (s *search) cancelled() bool {
+	return s.opts.Ctx != nil && s.opts.Ctx.Err() != nil
+}
+
+// stopped is the restart loops' combined stop test: out of budget or
+// cancelled.
+func (s *search) stopped() bool { return s.expired() || s.cancelled() }
+
 func (s *search) restarted() {
 	s.tr.Emit(obs.Event{Kind: obs.KindRestart, Source: s.method,
 		Objective: s.bestGap, Iters: s.evals})
@@ -262,7 +299,7 @@ func hillRestart(s *search, gap GapFunc, n int, rng *rand.Rand) error {
 		return err
 	}
 	s.observe(d, g)
-	for k := 0; k < opts.K && !s.expired(); k++ {
+	for k := 0; k < opts.K && !s.stopped(); k++ {
 		aux := opts.neighbor(rng, d)
 		ag, err := gap(aux)
 		if err != nil {
@@ -288,8 +325,8 @@ func HillClimb(gap GapFunc, n int, opts Options) (*Result, error) {
 		return nil, err
 	}
 	restart := func(s *search, rng *rand.Rand) error { return hillRestart(s, gap, n, rng) }
-	if opts.Workers > 1 {
-		return parallelRestarts(&opts, "hill", restart)
+	if opts.Workers > 1 || opts.Checkpoint != "" {
+		return parallelRestarts(&opts, "hill", searchFingerprint("hill", n, &opts, 0, 0, 0), nil, restart)
 	}
 	return serialRestarts(&opts, "hill", restart)
 }
@@ -300,14 +337,16 @@ func HillClimb(gap GapFunc, n int, opts Options) (*Result, error) {
 func serialRestarts(o *Options, method string, body func(*search, *rand.Rand) error) (*Result, error) {
 	s := newSearch(o, method)
 	for restart := 0; o.Restarts <= 0 || restart < o.Restarts; restart++ {
-		if s.expired() {
+		if s.stopped() {
 			break
 		}
 		if err := body(s, o.Rng); err != nil {
 			return nil, err
 		}
 	}
-	return s.result(), nil
+	r := s.result()
+	r.Interrupted = s.cancelled()
+	return r, nil
 }
 
 // parallelRestarts fans the restarts out over o.Workers goroutines. Each
@@ -316,14 +355,45 @@ func serialRestarts(o *Options, method string, body func(*search, *rand.Rand) er
 // completed children are merged in restart order, so for a fixed Restarts
 // count the merged result is a pure function of the seed — the worker count
 // and the goroutine schedule never reach the answer.
-func parallelRestarts(o *Options, method string, body func(*search, *rand.Rand) error) (*Result, error) {
+//
+// The same per-restart independence is what makes checkpoint/resume exact:
+// the ledger stores the pre-drawn seed sequence plus every completed
+// restart's outcome, so a resumed run (resume != nil) re-runs only the
+// missing indices from their original seeds and merges to the identical
+// Gap, Demands and Evals.
+func parallelRestarts(o *Options, method string, fp uint64, resume *checkpoint.BlackboxState, body func(*search, *rand.Rand) error) (*Result, error) {
 	root := newSearch(o, method)
+	var ckpt *checkpoint.Writer
+	ckptEvery := 1
+	if o.Checkpoint != "" {
+		ckpt = &checkpoint.Writer{Path: o.Checkpoint, FS: o.CheckpointFS}
+		if o.CheckpointEvery > 1 {
+			ckptEvery = o.CheckpointEvery
+		}
+	}
+
 	// Child seeds are the ONLY draws from the shared Rng, made in restart
 	// order. With a restart cap they are all drawn up front; in pure budget
-	// mode they are drawn lazily (still in index order) under the mutex.
+	// mode they are drawn lazily (still in index order) under the mutex. A
+	// resumed run replays the snapshot's sequence verbatim and never
+	// consults o.Rng.
 	var seedMu sync.Mutex
 	var seeds []int64
-	if o.Restarts > 0 {
+	prior := map[int]*search{}
+	var ledger []checkpoint.RestartState
+	if resume != nil {
+		seeds = append([]int64(nil), resume.Seeds...)
+		// Backdate the shared clock by the wall time the killed run already
+		// consumed, so Budget and trace timestamps continue instead of
+		// restarting from zero.
+		root.start = root.start.Add(-time.Duration(resume.ElapsedNanos))
+		for _, rs := range resume.Completed {
+			prior[int(rs.Index)] = restartIn(o, method, root.start, rs)
+			ledger = append(ledger, rs)
+		}
+		root.tr.Emit(obs.Event{Kind: obs.KindResume, Source: method,
+			Iters: len(prior), Detail: o.Checkpoint})
+	} else if o.Restarts > 0 {
 		seeds = make([]int64, o.Restarts)
 		for i := range seeds {
 			seeds[i] = o.Rng.Int63()
@@ -339,6 +409,9 @@ func parallelRestarts(o *Options, method string, body func(*search, *rand.Rand) 
 	}
 
 	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	if o.Restarts > 0 && workers > o.Restarts {
 		workers = o.Restarts
 	}
@@ -347,26 +420,63 @@ func parallelRestarts(o *Options, method string, body func(*search, *rand.Rand) 
 		s   *search
 	}
 	var (
-		next     atomic.Int64
-		mu       sync.Mutex
-		done     []child
-		firstErr error
-		wg       sync.WaitGroup
+		next      atomic.Int64
+		mu        sync.Mutex
+		done      []child
+		completed int
+		firstErr  error
+		wg        sync.WaitGroup
 	)
+	// writeCheckpoint persists the ledger (called with mu held). A failed
+	// write is reported and otherwise ignored: the previous good snapshot
+	// survives, and losing a checkpoint must never lose the search.
+	writeCheckpoint := func() {
+		if ckpt == nil || completed%ckptEvery != 0 {
+			return
+		}
+		st := &checkpoint.BlackboxState{
+			Fingerprint: fp,
+			Method:      method,
+			Seeds:       append([]int64(nil), seeds...),
+			//gapvet:allow walltime checkpointed elapsed time is reporting/budget state, not search logic
+			ElapsedNanos: time.Since(root.start).Nanoseconds(),
+			Completed:    append([]checkpoint.RestartState(nil), ledger...),
+		}
+		sort.Slice(st.Completed, func(i, j int) bool { return st.Completed[i].Index < st.Completed[j].Index })
+		if err := ckpt.Save(&checkpoint.Snapshot{Blackbox: st}); err != nil {
+			root.tr.Emit(obs.Event{Kind: obs.KindCheckpointWrite, Source: method,
+				Status: "error", Detail: err.Error()})
+			return
+		}
+		root.tr.Emit(obs.Event{Kind: obs.KindCheckpointWrite, Source: method,
+			Status: "ok", Detail: o.Checkpoint})
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for !root.expired() {
+			for !root.stopped() {
 				i := int(next.Add(1)) - 1
 				if o.Restarts > 0 && i >= o.Restarts {
 					return
+				}
+				if _, ok := prior[i]; ok {
+					continue // already completed by the checkpointed run
 				}
 				cs := &search{opts: o, method: method, tr: o.Tracer,
 					start: root.start, bestGap: math.Inf(-1)}
 				err := body(cs, rand.New(rand.NewSource(seedFor(i))))
 				mu.Lock()
 				done = append(done, child{idx: i, s: cs})
+				if err == nil && !root.stopped() {
+					// Only restarts that ran to natural completion enter the
+					// ledger: one cut short by the budget or a cancellation
+					// still counts toward THIS run's best-so-far, but a
+					// resumed run must re-run it in full to stay exact.
+					ledger = append(ledger, restartOut(i, cs))
+					completed++
+					writeCheckpoint()
+				}
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -380,6 +490,9 @@ func parallelRestarts(o *Options, method string, body func(*search, *rand.Rand) 
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	for i, cs := range prior {
+		done = append(done, child{idx: i, s: cs})
 	}
 
 	// Merge in restart order: the best gap wins with ties broken by the
@@ -408,7 +521,9 @@ func parallelRestarts(o *Options, method string, body func(*search, *rand.Rand) 
 			root.trace = append(root.trace, tp)
 		}
 	}
-	return root.result(), nil
+	r := root.result()
+	r.Interrupted = root.cancelled()
+	return r, nil
 }
 
 // SAOptions extends Options with the annealing schedule: temperature starts
@@ -442,7 +557,7 @@ func saRestart(s *search, gap GapFunc, n int, opts *SAOptions, rng *rand.Rand) e
 	s.observe(d, g)
 	temp := opts.T0
 	sinceImprove := 0
-	for iter := 0; sinceImprove < opts.K && !s.expired(); iter++ {
+	for iter := 0; sinceImprove < opts.K && !s.stopped(); iter++ {
 		if iter > 0 && iter%opts.KP == 0 {
 			temp *= opts.Gamma
 		}
@@ -481,8 +596,9 @@ func SimulatedAnneal(gap GapFunc, n int, opts SAOptions) (*Result, error) {
 		return nil, err
 	}
 	restart := func(s *search, rng *rand.Rand) error { return saRestart(s, gap, n, &opts, rng) }
-	if opts.Workers > 1 {
-		return parallelRestarts(&opts.Options, "anneal", restart)
+	if opts.Workers > 1 || opts.Checkpoint != "" {
+		fp := searchFingerprint("anneal", n, &opts.Options, opts.T0, opts.Gamma, opts.KP)
+		return parallelRestarts(&opts.Options, "anneal", fp, nil, restart)
 	}
 	return serialRestarts(&opts.Options, "anneal", restart)
 }

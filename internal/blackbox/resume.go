@@ -1,0 +1,131 @@
+package blackbox
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// searchFingerprint hashes everything that determines a restart's outcome
+// from its seed: the method, the demand dimension, the restart cap, the
+// search box and step, the patience, and (for annealing) the schedule.
+// Workers and Budget are deliberately excluded — a ledger checkpointed
+// under 4 workers may resume under 1, and the remaining budget is carried
+// in the snapshot itself.
+func searchFingerprint(method string, n int, o *Options, t0, gamma float64, kp int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(method))
+	var buf [8]byte
+	mix := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	mix(uint64(n))
+	mix(uint64(o.Restarts))
+	mix(uint64(o.K))
+	mix(math.Float64bits(o.MinDemand))
+	mix(math.Float64bits(o.MaxDemand))
+	mix(math.Float64bits(o.Sigma))
+	mix(math.Float64bits(t0))
+	mix(math.Float64bits(gamma))
+	mix(uint64(kp))
+	return h.Sum64()
+}
+
+// restartOut converts one completed child search to its ledger form.
+func restartOut(idx int, s *search) checkpoint.RestartState {
+	rs := checkpoint.RestartState{Index: int64(idx), Gap: s.bestGap, Evals: int64(s.evals)}
+	if s.best != nil {
+		rs.HasBest = true
+		rs.Best = append([]float64(nil), s.best...)
+	}
+	if len(s.trace) > 0 {
+		rs.Trace = make([]checkpoint.TracePoint, len(s.trace))
+		for i, tp := range s.trace {
+			rs.Trace[i] = checkpoint.TracePoint{
+				ElapsedNanos: tp.Elapsed.Nanoseconds(),
+				Objective:    tp.Gap,
+				Nodes:        int64(tp.Evals),
+			}
+		}
+	}
+	return rs
+}
+
+// restartIn reconstructs a completed child search from its ledger form, on
+// the (backdated) shared clock, so the merge step treats it exactly like a
+// child that ran in this process.
+func restartIn(o *Options, method string, start time.Time, rs checkpoint.RestartState) *search {
+	s := &search{opts: o, method: method, tr: o.Tracer, start: start, bestGap: rs.Gap, evals: int(rs.Evals)}
+	if rs.HasBest {
+		s.best = append([]float64(nil), rs.Best...)
+	}
+	if len(rs.Trace) > 0 {
+		s.trace = make([]TracePoint, len(rs.Trace))
+		for i, tp := range rs.Trace {
+			s.trace[i] = TracePoint{
+				Elapsed: time.Duration(tp.ElapsedNanos),
+				Gap:     tp.Objective,
+				Evals:   int(tp.Nodes),
+			}
+		}
+	}
+	return s
+}
+
+// resumeCheck validates a snapshot against the search it is asked to
+// continue.
+func resumeCheck(st *checkpoint.BlackboxState, method string, fp uint64, o *Options) error {
+	if st == nil {
+		return fmt.Errorf("blackbox: Resume called with a nil state")
+	}
+	if o.Restarts <= 0 {
+		return fmt.Errorf("blackbox: Resume requires a positive Restarts cap")
+	}
+	if st.Method != method {
+		return fmt.Errorf("blackbox: snapshot is a %q search, want %q", st.Method, method)
+	}
+	if st.Fingerprint != fp {
+		return &checkpoint.MismatchError{What: "search fingerprint", Want: st.Fingerprint, Got: fp}
+	}
+	if len(st.Seeds) != o.Restarts {
+		return fmt.Errorf("blackbox: snapshot carries %d seeds, want %d", len(st.Seeds), o.Restarts)
+	}
+	return nil
+}
+
+// ResumeHillClimb continues a hill-climbing search from a checkpoint written
+// by a previous HillClimb with Options.Checkpoint set, under the same
+// search-determining options (Workers may differ freely). Only the restarts
+// missing from the ledger are re-run, from their original seeds, so the
+// final Gap, Demands and Evals are identical to the run that was never
+// killed.
+func ResumeHillClimb(gap GapFunc, n int, opts Options, st *checkpoint.BlackboxState) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	fp := searchFingerprint("hill", n, &opts, 0, 0, 0)
+	if err := resumeCheck(st, "hill", fp, &opts); err != nil {
+		return nil, err
+	}
+	restart := func(s *search, rng *rand.Rand) error { return hillRestart(s, gap, n, rng) }
+	return parallelRestarts(&opts, "hill", fp, st, restart)
+}
+
+// ResumeSimulatedAnneal is ResumeHillClimb's annealed counterpart.
+func ResumeSimulatedAnneal(gap GapFunc, n int, opts SAOptions, st *checkpoint.BlackboxState) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	fp := searchFingerprint("anneal", n, &opts.Options, opts.T0, opts.Gamma, opts.KP)
+	if err := resumeCheck(st, "anneal", fp, &opts.Options); err != nil {
+		return nil, err
+	}
+	restart := func(s *search, rng *rand.Rand) error { return saRestart(s, gap, n, &opts, rng) }
+	return parallelRestarts(&opts.Options, "anneal", fp, st, restart)
+}

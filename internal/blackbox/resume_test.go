@@ -1,0 +1,162 @@
+package blackbox
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// checkpointedOpts is defaultOpts with the ledger enabled (which selects the
+// per-restart-seeded engine, the stream the ledger replays).
+func checkpointedOpts(t *testing.T, seed int64) Options {
+	t.Helper()
+	o := defaultOpts(seed)
+	o.Checkpoint = filepath.Join(t.TempDir(), "bb.ckpt")
+	return o
+}
+
+// TestResumeFromTruncatedLedgerMatchesFull: a full checkpointed run writes
+// the complete restart ledger; dropping any suffix of completed restarts
+// and resuming must re-run exactly the missing ones to the bit-identical
+// Gap, Demands and Evals — at a different worker count, too.
+func TestResumeFromTruncatedLedgerMatchesFull(t *testing.T) {
+	inst := figure1Instance(t)
+	gap := DPGap(inst, 50)
+	opts := checkpointedOpts(t, 5)
+	full, err := HillClimb(gap, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := checkpoint.Load(opts.Checkpoint)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	st := snap.Blackbox
+	if st == nil || st.Method != "hill" || len(st.Completed) != opts.Restarts {
+		t.Fatalf("bad final ledger: %+v", st)
+	}
+	for keep := 0; keep < len(st.Completed); keep++ {
+		trunc := *st
+		trunc.Completed = st.Completed[:keep]
+		for _, workers := range []int{1, 3} {
+			ropts := defaultOpts(999) // Rng is required but never drawn from on resume
+			ropts.Workers = workers
+			res, err := ResumeHillClimb(gap, 3, ropts, &trunc)
+			if err != nil {
+				t.Fatalf("resume keep=%d workers=%d: %v", keep, workers, err)
+			}
+			if res.Gap != full.Gap || res.Evals != full.Evals {
+				t.Fatalf("resume keep=%d workers=%d diverged: gap=%v evals=%d, want %v/%d",
+					keep, workers, res.Gap, res.Evals, full.Gap, full.Evals)
+			}
+			for i, d := range full.Demands {
+				if res.Demands[i] != d {
+					t.Fatalf("resume keep=%d workers=%d: Demands[%d]=%v, want %v", keep, workers, i, res.Demands[i], d)
+				}
+			}
+		}
+	}
+}
+
+func TestResumeSimulatedAnnealMatchesFull(t *testing.T) {
+	inst := figure1Instance(t)
+	gap := DPGap(inst, 50)
+	opts := SAOptions{Options: checkpointedOpts(t, 5), T0: 500, Gamma: 0.1, KP: 100}
+	opts.Restarts = 4
+	full, err := SimulatedAnneal(gap, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := checkpoint.Load(opts.Checkpoint)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	trunc := *snap.Blackbox
+	trunc.Completed = trunc.Completed[:1]
+	ropts := opts
+	ropts.Rng = defaultOpts(999).Rng
+	res, err := ResumeSimulatedAnneal(gap, 3, ropts, &trunc)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if res.Gap != full.Gap || res.Evals != full.Evals {
+		t.Fatalf("resume diverged: gap=%v evals=%d, want %v/%d", res.Gap, res.Evals, full.Gap, full.Evals)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	inst := figure1Instance(t)
+	gap := DPGap(inst, 50)
+	opts := checkpointedOpts(t, 5)
+	if _, err := HillClimb(gap, 3, opts); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := checkpoint.Load(opts.Checkpoint)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	st := snap.Blackbox
+
+	if _, err := ResumeHillClimb(gap, 3, opts, nil); err == nil {
+		t.Fatal("nil state accepted")
+	}
+	sa := SAOptions{Options: opts, T0: 500, Gamma: 0.1, KP: 100}
+	if _, err := ResumeSimulatedAnneal(gap, 3, sa, st); err == nil {
+		t.Fatal("hill ledger accepted by the annealer")
+	}
+	var mm *checkpoint.MismatchError
+	diff := opts
+	diff.Sigma = 11
+	if _, err := ResumeHillClimb(gap, 3, diff, st); !errors.As(err, &mm) {
+		t.Fatalf("fingerprint mismatch not rejected: %v", err)
+	}
+	budget := opts
+	budget.Restarts = 0
+	budget.Budget = 1 // validate() would otherwise reject the options outright
+	budget.Checkpoint = ""
+	if _, err := ResumeHillClimb(gap, 3, budget, st); err == nil {
+		t.Fatal("budget-only resume accepted")
+	}
+}
+
+func TestCheckpointRequiresRestarts(t *testing.T) {
+	opts := defaultOpts(1)
+	opts.Restarts = 0
+	opts.Budget = time.Second
+	opts.Checkpoint = filepath.Join(t.TempDir(), "bb.ckpt")
+	if _, err := HillClimb(func(d []float64) (float64, error) { return 0, nil }, 1, opts); err == nil {
+		t.Fatal("budget-only checkpointing accepted")
+	}
+}
+
+func TestContextCancelMarksInterrupted(t *testing.T) {
+	inst := figure1Instance(t)
+	gap := DPGap(inst, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 3} {
+		opts := defaultOpts(1)
+		opts.Workers = workers
+		opts.Ctx = ctx
+		res, err := HillClimb(gap, 3, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !res.Interrupted {
+			t.Fatalf("workers=%d: cancelled search not marked Interrupted", workers)
+		}
+	}
+	// An un-cancelled run is never marked interrupted (budget expiry included).
+	opts := defaultOpts(1)
+	res, err := HillClimb(gap, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted {
+		t.Fatal("normal finish marked Interrupted")
+	}
+}

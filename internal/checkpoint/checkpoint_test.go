@@ -1,0 +1,230 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleBnB() *Snapshot {
+	return &Snapshot{BnB: &BnBState{
+		Fingerprint:      0xdeadbeefcafe,
+		Waves:            17,
+		NextID:           41,
+		Nodes:            120,
+		LPSolves:         130,
+		LPIters:          4096,
+		WarmLPSolves:     100,
+		WarmLPFallbacks:  3,
+		HasIncumbent:     true,
+		Incumbent:        42.5,
+		IncumbentX:       []float64{0, 1, 0.25, math.SmallestNonzeroFloat64},
+		BestBound:        math.Inf(1), // legitimate solver state: root bound
+		InfeasibleProven: false,
+		ElapsedNanos:     987654321,
+		Frontier: []FrontierNode{
+			{ID: 3, Bound: 50.25, Depth: 2,
+				Overrides: []Override{{Var: 1, Lo: 0, Hi: 0}, {Var: 4, Lo: 1, Hi: 1}},
+				Basis:     []byte{1, 2, 3}},
+			{ID: 9, Bound: math.Inf(1), Depth: 1}, // unbounded parent, no basis
+		},
+		Trace: []TracePoint{
+			{ElapsedNanos: 5, Objective: 1, Bound: math.Inf(1), Nodes: 1, Source: "seed"},
+			{ElapsedNanos: 50, Objective: 42.5, Bound: 44, Nodes: 7, Source: "leaf"},
+		},
+	}}
+}
+
+func sampleBlackbox() *Snapshot {
+	return &Snapshot{Blackbox: &BlackboxState{
+		Fingerprint:  7,
+		Method:       "hill",
+		Seeds:        []int64{11, -22, 33},
+		ElapsedNanos: 1234,
+		Completed: []RestartState{
+			{Index: 0, Gap: 3.5, Evals: 200, HasBest: true, Best: []float64{1, 2},
+				Trace: []TracePoint{{ElapsedNanos: 9, Objective: 3.5, Nodes: 12}}},
+			{Index: 2, Gap: math.Inf(-1), Evals: 5}, // restart that never found a feasible point
+		},
+	}}
+}
+
+func TestRoundTripBnB(t *testing.T) {
+	data, err := Encode(sampleBnB())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	data2, err := Encode(back)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("round trip diverged: %d vs %d bytes", len(data), len(data2))
+	}
+	st := back.BnB
+	if st == nil || back.Blackbox != nil {
+		t.Fatalf("wrong snapshot kind: %+v", back)
+	}
+	if st.Waves != 17 || st.NextID != 41 || !st.HasIncumbent || st.Incumbent != 42.5 {
+		t.Fatalf("fields lost: %+v", st)
+	}
+	if !math.IsInf(st.BestBound, 1) {
+		t.Fatalf("+Inf bound did not survive: %v", st.BestBound)
+	}
+	if len(st.Frontier) != 2 || len(st.Frontier[0].Overrides) != 2 || string(st.Frontier[0].Basis) != "\x01\x02\x03" {
+		t.Fatalf("frontier lost: %+v", st.Frontier)
+	}
+	if len(st.Trace) != 2 || st.Trace[1].Source != "leaf" {
+		t.Fatalf("trace lost: %+v", st.Trace)
+	}
+}
+
+func TestRoundTripBlackbox(t *testing.T) {
+	data, err := Encode(sampleBlackbox())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	st := back.Blackbox
+	if st == nil || back.BnB != nil {
+		t.Fatalf("wrong snapshot kind: %+v", back)
+	}
+	if st.Method != "hill" || len(st.Seeds) != 3 || st.Seeds[1] != -22 {
+		t.Fatalf("fields lost: %+v", st)
+	}
+	if len(st.Completed) != 2 || !math.IsInf(st.Completed[1].Gap, -1) {
+		t.Fatalf("-Inf gap did not survive: %+v", st.Completed)
+	}
+}
+
+func TestEncodeRejectsBadShapes(t *testing.T) {
+	if _, err := Encode(&Snapshot{}); err == nil {
+		t.Fatal("empty snapshot encoded")
+	}
+	if _, err := Encode(&Snapshot{BnB: &BnBState{}, Blackbox: &BlackboxState{}}); err == nil {
+		t.Fatal("double-kind snapshot encoded")
+	}
+	if _, err := Encode(nil); err == nil {
+		t.Fatal("nil snapshot encoded")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, err := Encode(sampleBnB())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Truncation at every prefix length must error, never panic.
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) decoded", n)
+		}
+	}
+	// A flipped byte anywhere must fail the checksum (or a structural check).
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("corrupt snapshot (byte %d flipped) decoded", i)
+		}
+	}
+}
+
+func TestWriterAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	w := &Writer{Path: path}
+	if err := w.Save(sampleBnB()); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	second := sampleBlackbox()
+	if err := w.Save(second); err != nil {
+		t.Fatalf("save 2: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.Blackbox == nil {
+		t.Fatalf("second save not visible")
+	}
+	if cur, _ := os.ReadFile(path); bytes.Equal(cur, first) {
+		t.Fatal("file not replaced")
+	}
+	// No stray temp files may survive a successful save.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("stray files left behind: %v", entries)
+	}
+}
+
+type failFS struct {
+	inner FS
+	mode  string // "write" or "rename"
+}
+
+func (f failFS) WriteTemp(dir, pattern string, data []byte) (string, error) {
+	if f.mode == "write" {
+		return "", errors.New("disk full")
+	}
+	return f.inner.WriteTemp(dir, pattern, data)
+}
+func (f failFS) Rename(o, n string) error {
+	if f.mode == "rename" {
+		return errors.New("rename denied")
+	}
+	return f.inner.Rename(o, n)
+}
+func (f failFS) Remove(p string) error { return f.inner.Remove(p) }
+
+func TestWriterFailedSaveKeepsPreviousSnapshot(t *testing.T) {
+	for _, mode := range []string{"write", "rename"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.ckpt")
+			good := &Writer{Path: path}
+			if err := good.Save(sampleBnB()); err != nil {
+				t.Fatalf("seed save: %v", err)
+			}
+			bad := &Writer{Path: path, FS: failFS{inner: OSFS(), mode: mode}}
+			if err := bad.Save(sampleBlackbox()); err == nil {
+				t.Fatal("failed save reported success")
+			}
+			got, err := Load(path)
+			if err != nil || got.BnB == nil {
+				t.Fatalf("previous snapshot damaged: %v %+v", err, got)
+			}
+			entries, _ := os.ReadDir(dir)
+			if len(entries) != 1 {
+				t.Fatalf("stray files left behind after failed save: %v", entries)
+			}
+		})
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.ckpt")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}
+
+func TestMismatchErrorMessage(t *testing.T) {
+	err := &MismatchError{What: "search fingerprint", Want: 1, Got: 2}
+	if err.Error() == "" {
+		t.Fatal("empty message")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/kkt"
 	"repro/internal/lp"
 	"repro/internal/mcf"
@@ -231,6 +232,23 @@ func (pr *DPGapProblem) Stats() (ModelStats, error) {
 // Solve runs the white-box search and verifies the found input against the
 // direct OPT and DP solvers.
 func (pr *DPGapProblem) Solve(opts milp.Options) (*Result, error) {
+	return pr.run(opts, nil)
+}
+
+// Resume continues a white-box search from a branch-and-bound checkpoint
+// written by an earlier Solve with Options.Checkpoint set. The meta model
+// is rebuilt from the problem description — which must match the
+// checkpointed run's (milp.Resume rejects mismatched fingerprints) — and
+// the search picks up at the snapshotted wave boundary; seed incumbents
+// are ignored in favor of the snapshot's.
+func (pr *DPGapProblem) Resume(st *checkpoint.BnBState, opts milp.Options) (*Result, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil checkpoint state")
+	}
+	return pr.run(opts, st)
+}
+
+func (pr *DPGapProblem) run(opts milp.Options, st *checkpoint.BnBState) (*Result, error) {
 	var tm PhaseTimings
 	var b *dpBuild
 	var err error
@@ -272,7 +290,11 @@ func (pr *DPGapProblem) Solve(opts milp.Options) (*Result, error) {
 	var res *milp.Result
 	tm.Solve, err = obs.TimePhase(opts.Tracer, "solve", func() error {
 		var serr error
-		res, serr = milp.Solve(b.model, opts)
+		if st != nil {
+			res, serr = milp.Resume(b.model, st, opts)
+		} else {
+			res, serr = milp.Solve(b.model, opts)
+		}
 		return serr
 	})
 	if err != nil {

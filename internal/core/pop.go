@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/checkpoint"
 	"repro/internal/kkt"
 	"repro/internal/lp"
 	"repro/internal/mcf"
@@ -169,6 +170,23 @@ func (pr *POPGapProblem) Stats() (ModelStats, error) {
 // Solve runs the white-box search and verifies the result against direct
 // POP solves on the same fixed assignments.
 func (pr *POPGapProblem) Solve(opts milp.Options) (*Result, error) {
+	return pr.run(opts, nil)
+}
+
+// Resume continues a white-box search from a branch-and-bound checkpoint
+// written by an earlier Solve with Options.Checkpoint set. The meta model
+// is rebuilt from the problem description — including the Rng-drawn
+// assignments, so the caller must reconstruct the problem with the same
+// seed (milp.Resume rejects mismatched fingerprints) — and the search
+// picks up at the snapshotted wave boundary.
+func (pr *POPGapProblem) Resume(st *checkpoint.BnBState, opts milp.Options) (*Result, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil checkpoint state")
+	}
+	return pr.run(opts, st)
+}
+
+func (pr *POPGapProblem) run(opts milp.Options, st *checkpoint.BnBState) (*Result, error) {
 	var tm PhaseTimings
 	var b *popBuild
 	var err error
@@ -220,7 +238,11 @@ func (pr *POPGapProblem) Solve(opts milp.Options) (*Result, error) {
 	var res *milp.Result
 	tm.Solve, err = obs.TimePhase(opts.Tracer, "solve", func() error {
 		var serr error
-		res, serr = milp.Solve(b.model, opts)
+		if st != nil {
+			res, serr = milp.Resume(b.model, st, opts)
+		} else {
+			res, serr = milp.Solve(b.model, opts)
+		}
 		return serr
 	})
 	if err != nil {

@@ -5,6 +5,7 @@ package demand
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/topology"
@@ -40,6 +41,53 @@ func NewSet(pairs []Pair) *Set {
 		seen[p] = true
 	}
 	return &Set{pairs: append([]Pair(nil), pairs...), volumes: make([]float64, len(pairs))}
+}
+
+// VolumeError reports a demand volume that cannot enter a TE instance:
+// NaN, infinite, or negative. It is the typed rejection the constructors
+// return (and the setters panic with) so callers can distinguish bad input
+// from solver failures.
+type VolumeError struct {
+	Index int // demand index, -1 when not applicable
+	Value float64
+}
+
+func (e *VolumeError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("demand: invalid volume %g (must be finite and >= 0)", e.Value)
+	}
+	return fmt.Sprintf("demand: invalid volume %g at demand %d (must be finite and >= 0)", e.Value, e.Index)
+}
+
+// validVolume rejects NaN, ±Inf and negative volumes.
+func validVolume(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 }
+
+// ValidateVolumes returns a *VolumeError for the first volume that is NaN,
+// infinite or negative, or nil when all are usable.
+func ValidateVolumes(v []float64) error {
+	for i, x := range v {
+		if !validVolume(x) {
+			return &VolumeError{Index: i, Value: x}
+		}
+	}
+	return nil
+}
+
+// NewSetWithVolumes builds a set over the given pairs carrying the given
+// volumes — the error-returning constructor for externally supplied (file,
+// flag, or search-generated) volumes, where a panic would be the wrong
+// failure mode. Pair validation panics exactly as NewSet does; volume
+// validation returns a typed *VolumeError.
+func NewSetWithVolumes(pairs []Pair, volumes []float64) (*Set, error) {
+	if len(volumes) != len(pairs) {
+		return nil, fmt.Errorf("demand: %d volumes for %d pairs", len(volumes), len(pairs))
+	}
+	if err := ValidateVolumes(volumes); err != nil {
+		return nil, err
+	}
+	s := NewSet(pairs)
+	copy(s.volumes, volumes)
+	return s, nil
 }
 
 // AllPairs returns the set of all ordered node pairs of g — the demand
@@ -107,24 +155,24 @@ func (s *Set) Volumes() []float64 { return s.volumes }
 // CopyVolumes returns a fresh copy of the volume vector.
 func (s *Set) CopyVolumes() []float64 { return append([]float64(nil), s.volumes...) }
 
-// SetVolumes replaces all volumes; the length must match Len. Negative
-// volumes panic.
+// SetVolumes replaces all volumes; the length must match Len. NaN, infinite
+// or negative volumes panic with a *VolumeError (use NewSetWithVolumes or
+// ValidateVolumes for an error-returning path).
 func (s *Set) SetVolumes(v []float64) {
 	if len(v) != len(s.pairs) {
 		panic(fmt.Sprintf("demand: %d volumes for %d pairs", len(v), len(s.pairs)))
 	}
-	for i, x := range v {
-		if x < 0 {
-			panic(fmt.Sprintf("demand: negative volume %g at %d", x, i))
-		}
+	if err := ValidateVolumes(v); err != nil {
+		panic(err)
 	}
 	copy(s.volumes, v)
 }
 
-// SetVolume sets a single demand's volume.
+// SetVolume sets a single demand's volume. NaN, infinite or negative
+// volumes panic with a *VolumeError.
 func (s *Set) SetVolume(k int, v float64) {
-	if v < 0 {
-		panic(fmt.Sprintf("demand: negative volume %g", v))
+	if !validVolume(v) {
+		panic(&VolumeError{Index: k, Value: v})
 	}
 	s.volumes[k] = v
 }

@@ -1,0 +1,80 @@
+package demand
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func pairs1() []Pair { return []Pair{{Src: 0, Dst: 1}} }
+
+func TestNewSetWithVolumesAcceptsValid(t *testing.T) {
+	s, err := NewSetWithVolumes(pairs1(), []float64{7})
+	if err != nil {
+		t.Fatalf("valid volumes rejected: %v", err)
+	}
+	if s.Volume(0) != 7 {
+		t.Fatalf("volume lost: %v", s.Volume(0))
+	}
+}
+
+func TestNewSetWithVolumesRejectsNaN(t *testing.T) {
+	var ve *VolumeError
+	if _, err := NewSetWithVolumes(pairs1(), []float64{math.NaN()}); !errors.As(err, &ve) {
+		t.Fatalf("NaN accepted: %v", err)
+	} else if ve.Index != 0 {
+		t.Fatalf("wrong index: %+v", ve)
+	}
+}
+
+func TestNewSetWithVolumesRejectsInf(t *testing.T) {
+	var ve *VolumeError
+	if _, err := NewSetWithVolumes(pairs1(), []float64{math.Inf(1)}); !errors.As(err, &ve) {
+		t.Fatalf("+Inf accepted: %v", err)
+	}
+	if _, err := NewSetWithVolumes(pairs1(), []float64{math.Inf(-1)}); !errors.As(err, &ve) {
+		t.Fatalf("-Inf accepted: %v", err)
+	}
+}
+
+func TestNewSetWithVolumesRejectsNegative(t *testing.T) {
+	var ve *VolumeError
+	if _, err := NewSetWithVolumes(pairs1(), []float64{-0.5}); !errors.As(err, &ve) {
+		t.Fatalf("negative accepted: %v", err)
+	}
+}
+
+func TestNewSetWithVolumesRejectsLengthMismatch(t *testing.T) {
+	if _, err := NewSetWithVolumes(pairs1(), []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSettersPanicWithTypedErrorOnNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		for _, apply := range []func(*Set){
+			func(s *Set) { s.SetVolumes([]float64{bad}) },
+			func(s *Set) { s.SetVolume(0, bad) },
+		} {
+			s := NewSet(pairs1())
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatalf("volume %v accepted", bad)
+					}
+					if _, ok := r.(*VolumeError); !ok {
+						t.Fatalf("panic value %T is not a *VolumeError", r)
+					}
+				}()
+				apply(s)
+			}()
+		}
+	}
+}
+
+func TestValidateVolumesNilOnValid(t *testing.T) {
+	if err := ValidateVolumes([]float64{0, 1, 2.5}); err != nil {
+		t.Fatalf("valid volumes rejected: %v", err)
+	}
+}

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -51,6 +52,10 @@ type Config struct {
 	// from the parent basis (milp.Options.WarmStart). The explored trees and
 	// reported gaps are bit-identical either way; only pivot counts change.
 	WarmStart bool
+	// Ctx, if non-nil, is threaded into every search (white-box and
+	// black-box) for cooperative cancellation: an interrupted experiment
+	// returns best-so-far results instead of dying mid-solve.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +98,7 @@ func (c Config) searchOptions() milp.Options {
 		Tracer:       c.Tracer,
 		Workers:      c.Workers,
 		WarmStart:    c.WarmStart,
+		Ctx:          c.Ctx,
 	}
 }
 
@@ -225,6 +231,7 @@ func Figure3(heuristic string, cfg Config) ([]Figure3Point, error) {
 		Budget:    cfg.Budget,
 		Tracer:    cfg.Tracer,
 		Workers:   cfg.Workers,
+		Ctx:       cfg.Ctx,
 	}
 	hcOpts := base
 	hcOpts.Rng = rand.New(rand.NewSource(cfg.Seed + 20))

@@ -1,0 +1,172 @@
+// Package faultinject provides a seeded, deterministic fault plan for the
+// solver stack's resilience tests: the nth LP solve fails, a wave worker
+// panics at wave k, a checkpoint write returns an I/O error, or the search
+// deadline expires mid-wave. Faults are injected behind interfaces the
+// solvers already use, so production code paths are exercised unchanged; a
+// nil *Plan injects nothing and costs one nil check.
+//
+// A plan is parsed from a compact spec such as
+//
+//	lp-solve:7,worker-panic:3,ckpt-write:1,deadline:4
+//
+// where the number is the 1-based occurrence (lp-solve, ckpt-write) or the
+// wave index (worker-panic, deadline) at which the fault fires. A trigger of
+// the form "op:~max" draws the firing point uniformly from [1, max] using
+// the plan's seed — deterministic for a fixed (spec, seed) pair, which is
+// what lets a CI matrix sweep kill points without hand-enumerating them.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Fault operations understood by the solvers.
+const (
+	// OpLPSolve fails the nth node-relaxation LP (counted in deterministic
+	// apply order on the branch-and-bound coordinator).
+	OpLPSolve = "lp-solve"
+	// OpWorkerPanic panics inside a wave worker at the given wave index,
+	// exercising the pool's panic recovery and deterministic drain.
+	OpWorkerPanic = "worker-panic"
+	// OpCheckpointWrite fails the nth checkpoint write with an I/O error.
+	OpCheckpointWrite = "ckpt-write"
+	// OpDeadline forces deadline expiry at the start of the given wave.
+	OpDeadline = "deadline"
+)
+
+var knownOps = map[string]bool{
+	OpLPSolve:         true,
+	OpWorkerPanic:     true,
+	OpCheckpointWrite: true,
+	OpDeadline:        true,
+}
+
+// ErrInjected is the sentinel every injected fault unwraps to, so callers
+// and tests can errors.Is their way past wrapping layers.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Error is one fired fault: the operation and the occurrence or wave index
+// it fired at.
+type Error struct {
+	Op string
+	N  int
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("faultinject: %s fault at %d", e.Op, e.N) }
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Plan is a parsed fault plan. Methods are safe for concurrent use (wave
+// workers consult it in parallel). The zero of *Plan — nil — is a valid
+// plan that never fires.
+type Plan struct {
+	mu      sync.Mutex
+	trigger map[string]int // op -> occurrence / wave index (1-based)
+	count   map[string]int // op -> occurrences observed so far
+}
+
+// Parse builds a plan from spec (see the package comment for the grammar).
+// Seeded "op:~max" triggers are resolved with seed. An empty spec yields a
+// nil plan.
+func Parse(spec string, seed int64) (*Plan, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	p := &Plan{trigger: make(map[string]int), count: make(map[string]int)}
+	entries := strings.Split(spec, ",")
+	// Seeded draws are resolved in sorted op order, not spec order, so two
+	// spellings of the same plan fire identically.
+	type seededEntry struct {
+		op  string
+		max int
+	}
+	var seeded []seededEntry
+	for _, ent := range entries {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		op, val, ok := strings.Cut(ent, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: entry %q: want op:n or op:~max", ent)
+		}
+		op = strings.TrimSpace(op)
+		if !knownOps[op] {
+			return nil, fmt.Errorf("faultinject: unknown op %q", op)
+		}
+		if _, dup := p.trigger[op]; dup {
+			return nil, fmt.Errorf("faultinject: duplicate op %q", op)
+		}
+		val = strings.TrimSpace(val)
+		if rest, rnd := strings.CutPrefix(val, "~"); rnd {
+			max, err := strconv.Atoi(rest)
+			if err != nil || max < 1 {
+				return nil, fmt.Errorf("faultinject: entry %q: bad seeded bound", ent)
+			}
+			p.trigger[op] = 0 // reserved; resolved below
+			seeded = append(seeded, seededEntry{op: op, max: max})
+			continue
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faultinject: entry %q: trigger must be a positive integer", ent)
+		}
+		p.trigger[op] = n
+	}
+	if len(seeded) > 0 {
+		sort.Slice(seeded, func(i, j int) bool { return seeded[i].op < seeded[j].op })
+		rng := rand.New(rand.NewSource(seed))
+		for _, se := range seeded {
+			p.trigger[se.op] = 1 + rng.Intn(se.max)
+		}
+	}
+	if len(p.trigger) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// Hit counts one occurrence of op and reports whether the plan fires on it
+// (occurrence-triggered ops: lp-solve, ckpt-write). It fires exactly once.
+func (p *Plan) Hit(op string) (int, bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, ok := p.trigger[op]
+	if !ok {
+		return 0, false
+	}
+	p.count[op]++
+	return p.count[op], p.count[op] == n
+}
+
+// At reports whether the plan fires op at index k (index-triggered ops:
+// worker-panic, deadline). Unlike Hit it does not count, so it may be
+// consulted any number of times per wave.
+func (p *Plan) At(op string, k int) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, ok := p.trigger[op]
+	return ok && n == k
+}
+
+// Trigger exposes the resolved firing point of op (0 when the plan has
+// none) — for tests and log lines.
+func (p *Plan) Trigger(op string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.trigger[op]
+}

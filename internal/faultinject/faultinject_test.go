@@ -1,0 +1,190 @@
+package faultinject
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+func TestParseFixedTriggers(t *testing.T) {
+	p, err := Parse("lp-solve:7, worker-panic:3 ,ckpt-write:1,deadline:4", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for op, want := range map[string]int{OpLPSolve: 7, OpWorkerPanic: 3, OpCheckpointWrite: 1, OpDeadline: 4} {
+		if got := p.Trigger(op); got != want {
+			t.Errorf("%s trigger = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	if p, err := Parse("", 0); p != nil || err != nil {
+		t.Fatalf("empty spec: %v %v", p, err)
+	}
+	if p, err := Parse("  , ,", 0); p != nil || err != nil {
+		t.Fatalf("blank entries: %v %v", p, err)
+	}
+	for _, bad := range []string{
+		"lp-solve",              // no trigger
+		"frobnicate:3",          // unknown op
+		"lp-solve:0",            // not positive
+		"lp-solve:-2",           // negative
+		"lp-solve:x",            // not a number
+		"lp-solve:~0",           // bad seeded bound
+		"lp-solve:~x",           // bad seeded bound
+		"lp-solve:1,lp-solve:2", // duplicate
+	} {
+		if _, err := Parse(bad, 0); err == nil {
+			t.Errorf("spec %q parsed", bad)
+		}
+	}
+}
+
+func TestParseSeededIsDeterministic(t *testing.T) {
+	a, err := Parse("deadline:~50,lp-solve:~50", 42)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// Different spelling order of the same plan resolves identically.
+	b, err := Parse("lp-solve:~50,deadline:~50", 42)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, op := range []string{OpDeadline, OpLPSolve} {
+		ta, tb := a.Trigger(op), b.Trigger(op)
+		if ta != tb {
+			t.Errorf("%s: order-dependent seeded trigger: %d vs %d", op, ta, tb)
+		}
+		if ta < 1 || ta > 50 {
+			t.Errorf("%s: trigger %d outside [1, 50]", op, ta)
+		}
+	}
+	c, _ := Parse("deadline:~50,lp-solve:~50", 43)
+	if a.Trigger(OpDeadline) == c.Trigger(OpDeadline) && a.Trigger(OpLPSolve) == c.Trigger(OpLPSolve) {
+		t.Log("warning: seeds 42 and 43 drew identical plans (possible but unlikely)")
+	}
+}
+
+func TestHitFiresExactlyOnce(t *testing.T) {
+	p, _ := Parse("lp-solve:3", 0)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		n, fire := p.Hit(OpLPSolve)
+		if n != i {
+			t.Fatalf("occurrence %d counted as %d", i, n)
+		}
+		if fire {
+			fired++
+			if i != 3 {
+				t.Fatalf("fired at occurrence %d, want 3", i)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly once", fired)
+	}
+	if _, fire := p.Hit(OpWorkerPanic); fire {
+		t.Fatal("unplanned op fired")
+	}
+}
+
+func TestHitConcurrentFiresOnce(t *testing.T) {
+	p, _ := Parse("lp-solve:50", 0)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, fire := p.Hit(OpLPSolve); fire {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("fired %d times under concurrency, want exactly once", fired)
+	}
+}
+
+func TestAtDoesNotCount(t *testing.T) {
+	p, _ := Parse("worker-panic:4", 0)
+	for i := 0; i < 3; i++ {
+		if p.At(OpWorkerPanic, 3) {
+			t.Fatal("fired at wrong index")
+		}
+	}
+	if !p.At(OpWorkerPanic, 4) || !p.At(OpWorkerPanic, 4) {
+		t.Fatal("At is not repeatable at the trigger index")
+	}
+}
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if _, fire := p.Hit(OpLPSolve); fire {
+		t.Fatal("nil plan fired")
+	}
+	if p.At(OpDeadline, 1) {
+		t.Fatal("nil plan fired")
+	}
+	if p.Trigger(OpLPSolve) != 0 {
+		t.Fatal("nil plan has a trigger")
+	}
+}
+
+func TestErrorUnwrapsToSentinel(t *testing.T) {
+	err := error(&Error{Op: OpCheckpointWrite, N: 2})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("injected error does not unwrap to ErrInjected")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Op != OpCheckpointWrite {
+		t.Fatal("errors.As lost the typed fault")
+	}
+}
+
+func TestWrapFSInjectsWriteFault(t *testing.T) {
+	plan, _ := Parse("ckpt-write:2", 0)
+	fs := WrapFS(nil, plan)
+	dir := t.TempDir()
+	if _, err := fs.WriteTemp(dir, "a-*", []byte("one")); err != nil {
+		t.Fatalf("first write failed early: %v", err)
+	}
+	if _, err := fs.WriteTemp(dir, "a-*", []byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write did not inject: %v", err)
+	}
+	if _, err := fs.WriteTemp(dir, "a-*", []byte("three")); err != nil {
+		t.Fatalf("third write failed after the one-shot fault: %v", err)
+	}
+	// Pass-through methods reach the real filesystem.
+	tmp, err := fs.WriteTemp(dir, "b-*", []byte("x"))
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	dst := filepath.Join(dir, "renamed")
+	if err := fs.Rename(tmp, dst); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if err := fs.Remove(dst); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+}
+
+func TestWrapFSNilPlanReturnsInner(t *testing.T) {
+	inner := checkpoint.OSFS()
+	if got := WrapFS(inner, nil); got != inner {
+		t.Fatal("nil plan did not pass inner through")
+	}
+	if got := WrapFS(nil, nil); got == nil {
+		t.Fatal("nil inner did not default to the OS")
+	}
+}

@@ -1,0 +1,34 @@
+package faultinject
+
+import "repro/internal/checkpoint"
+
+// faultFS wraps a checkpoint.FS, failing WriteTemp on the plan's
+// ckpt-write trigger. Rename and Remove pass through: the atomicity
+// guarantee under test is that a failed write never disturbs the previous
+// good snapshot.
+type faultFS struct {
+	inner checkpoint.FS
+	plan  *Plan
+}
+
+// WrapFS returns an FS that injects the plan's checkpoint-write faults in
+// front of inner (the OS when nil). A nil plan returns inner unchanged.
+func WrapFS(inner checkpoint.FS, plan *Plan) checkpoint.FS {
+	if inner == nil {
+		inner = checkpoint.OSFS()
+	}
+	if plan == nil {
+		return inner
+	}
+	return &faultFS{inner: inner, plan: plan}
+}
+
+func (f *faultFS) WriteTemp(dir, pattern string, data []byte) (string, error) {
+	if n, fire := f.plan.Hit(OpCheckpointWrite); fire {
+		return "", &Error{Op: OpCheckpointWrite, N: n}
+	}
+	return f.inner.WriteTemp(dir, pattern, data)
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+func (f *faultFS) Remove(path string) error             { return f.inner.Remove(path) }

@@ -1,0 +1,56 @@
+package lp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MarshalBinary serializes the basis snapshot for checkpointing: the
+// structure signature followed by the sorted basic-column set, varint
+// delta-encoded. The encoding is versionless on purpose — the surrounding
+// checkpoint format owns versioning and integrity.
+func (b *Basis) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 8+binary.MaxVarintLen64*(len(b.cols)+1))
+	buf = binary.LittleEndian.AppendUint64(buf, b.sig)
+	buf = binary.AppendUvarint(buf, uint64(len(b.cols)))
+	prev := int32(0)
+	for _, c := range b.cols {
+		buf = binary.AppendUvarint(buf, uint64(c-prev))
+		prev = c
+	}
+	return buf, nil
+}
+
+// UnmarshalBasis reconstructs a Basis written by MarshalBinary, validating
+// shape (sorted, non-negative columns) so a corrupted checkpoint cannot
+// smuggle an unusable snapshot into the warm-start path.
+func UnmarshalBasis(data []byte) (*Basis, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("lp: basis blob truncated (%d bytes)", len(data))
+	}
+	sig := binary.LittleEndian.Uint64(data[:8])
+	rest := data[8:]
+	n, k := binary.Uvarint(rest)
+	if k <= 0 || n > uint64(1<<30) {
+		return nil, fmt.Errorf("lp: basis blob has bad column count")
+	}
+	rest = rest[k:]
+	cols := make([]int32, n)
+	prev := int64(0)
+	for i := range cols {
+		d, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return nil, fmt.Errorf("lp: basis blob truncated at column %d", i)
+		}
+		rest = rest[k:]
+		prev += int64(d)
+		if prev > int64(1<<31-1) {
+			return nil, fmt.Errorf("lp: basis column %d overflows", i)
+		}
+		cols[i] = int32(prev)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("lp: basis blob has %d trailing bytes", len(rest))
+	}
+	return &Basis{cols: cols, sig: sig}, nil
+}

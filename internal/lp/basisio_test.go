@@ -1,0 +1,94 @@
+package lp
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// basisFixture solves a small LP with basis capture on and returns the
+// terminal basis.
+func basisFixture(t *testing.T) *Basis {
+	t.Helper()
+	p := NewProblem("basis-io", Maximize)
+	x := p.AddVar("x", 0, 4)
+	y := p.AddVar("y", 0, 4)
+	p.SetObj(x, 3)
+	p.SetObj(y, 2)
+	p.AddConstraint("c", NewExpr().Add(x, 1).Add(y, 1), LE, 6)
+	sol, err := p.SolveWith(SolveOptions{CaptureBasis: true})
+	if err != nil || sol.Status != StatusOptimal {
+		t.Fatalf("solve: %v %v", err, sol)
+	}
+	if sol.Basis == nil {
+		t.Fatal("no basis captured")
+	}
+	return sol.Basis
+}
+
+func TestBasisMarshalRoundTrip(t *testing.T) {
+	b := basisFixture(t)
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := UnmarshalBasis(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.sig != b.sig || len(back.cols) != len(b.cols) {
+		t.Fatalf("basis lost: %+v vs %+v", back, b)
+	}
+	for i := range b.cols {
+		if back.cols[i] != b.cols[i] {
+			t.Fatalf("cols[%d] = %d, want %d", i, back.cols[i], b.cols[i])
+		}
+	}
+	again, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("round trip is not canonical")
+	}
+}
+
+func TestUnmarshalBasisRejectsCorruption(t *testing.T) {
+	b := basisFixture(t)
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := UnmarshalBasis(data[:n]); err == nil {
+			t.Fatalf("truncated basis (%d bytes) unmarshalled", n)
+		}
+	}
+	if _, err := UnmarshalBasis(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestSolveWithCancelledContext(t *testing.T) {
+	p := NewProblem("ctx", Maximize)
+	x := p.AddVar("x", 0, 10)
+	p.SetObj(x, 1)
+	p.AddConstraint("c", NewExpr().Add(x, 1), LE, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := p.SolveWith(SolveOptions{Ctx: ctx})
+	if err != nil {
+		t.Fatalf("cancelled solve errored: %v", err)
+	}
+	if sol.Status != StatusInterrupted {
+		t.Fatalf("status = %v, want interrupted", sol.Status)
+	}
+	if sol.Status.String() != "interrupted" {
+		t.Fatalf("status string = %q", sol.Status.String())
+	}
+	// A live context leaves the solve untouched.
+	sol, err = p.SolveWith(SolveOptions{Ctx: context.Background()})
+	if err != nil || sol.Status != StatusOptimal {
+		t.Fatalf("background-ctx solve: %v %v", err, sol.Status)
+	}
+}

@@ -13,6 +13,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -224,6 +225,10 @@ const (
 	// timed-out solve (the whole search is out of wall clock) from a node
 	// that merely exhausted its pivot budget.
 	StatusDeadline
+	// StatusInterrupted means SolveOptions.Ctx was cancelled before
+	// convergence (operator signal or a parent search shutting down). Like
+	// StatusDeadline it carries effort counters only — no point, no duals.
+	StatusInterrupted
 )
 
 func (s Status) String() string {
@@ -236,6 +241,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusDeadline:
 		return "deadline"
+	case StatusInterrupted:
+		return "interrupted"
 	default:
 		return "iteration-limit"
 	}
@@ -245,9 +252,10 @@ func (s Status) String() string {
 //
 // Contract: X, Dual and Objective are populated only when Status is
 // StatusOptimal. On every other status — StatusInfeasible, StatusUnbounded,
-// StatusIterLimit, StatusDeadline — X and Dual are nil and Objective is
-// zero; only the Status and the effort counters are meaningful. Callers
-// must nil-check X/Dual before indexing into them on non-optimal solves.
+// StatusIterLimit, StatusDeadline, StatusInterrupted — X and Dual are nil
+// and Objective is zero; only the Status and the effort counters are
+// meaningful. Callers must nil-check X/Dual before indexing into them on
+// non-optimal solves.
 type Solution struct {
 	Status    Status
 	Objective float64   // in the problem's own sense; valid only when optimal
@@ -301,6 +309,11 @@ type SolveOptions struct {
 	// Deadline, when non-zero, aborts the solve (StatusDeadline) once the
 	// wall clock passes it; checked every few hundred pivots.
 	Deadline time.Time
+	// Ctx, when non-nil, is polled on the same cadence as Deadline; once it
+	// is cancelled the solve aborts with StatusInterrupted. Cancellation is
+	// cooperative: the solver finishes its current pivot first, so the
+	// tableau is never torn.
+	Ctx context.Context
 	// CaptureBasis asks the solver to snapshot the terminal basis into
 	// Solution.Basis on optimal solves, for use as a later WarmStart. Off by
 	// default: the snapshot allocates one int32 per row.
@@ -325,4 +338,4 @@ type SolveOptions struct {
 // Solve solves the problem with default options.
 //
 //gapvet:allow tracecover zero-options convenience wrapper; SolveWith accepts the tracer
-func (p *Problem) Solve() (*Solution, error) { return p.SolveWith(SolveOptions{}) }
+func (p *Problem) Solve() (*Solution, error) { return p.SolveWith(SolveOptions{}) } //gapvet:allow ctxflow zero-options convenience wrapper; SolveWith accepts the context

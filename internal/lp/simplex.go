@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -362,8 +363,15 @@ type tableau struct {
 	phase1   int // pivots spent in phase 1
 	degen    int // pivots that left the phase objective unchanged
 	max      int
-	blocked  []bool    // columns forbidden from entering (artificials in phase 2)
-	deadline time.Time // zero means none
+	blocked  []bool          // columns forbidden from entering (artificials in phase 2)
+	deadline time.Time       // zero means none
+	ctx      context.Context // nil means uncancellable
+}
+
+// interrupted polls the solve's context on the same iteration cadence as the
+// deadline check. Cooperative: the current pivot always completes first.
+func (t *tableau) interrupted() bool {
+	return t.ctx != nil && t.iters%128 == 0 && t.ctx.Err() != nil
 }
 
 // solution constructs a Solution carrying the tableau's effort counters.
@@ -433,7 +441,7 @@ func (p *Problem) solveWith(opts SolveOptions) (*Solution, error) {
 // budget, deadline, and the blocked set (columns pinned by fixing overrides
 // may never enter a basis).
 func newTableau(s *stdForm, opts SolveOptions) *tableau {
-	t := &tableau{s: s, deadline: opts.Deadline}
+	t := &tableau{s: s, deadline: opts.Deadline, ctx: opts.Ctx}
 	t.max = opts.MaxIters
 	if t.max <= 0 {
 		t.max = 2000 + 60*(s.m+s.n)
@@ -530,7 +538,7 @@ func (p *Problem) solveCold(s *stdForm, opts SolveOptions) (*Solution, error) {
 		t.resetCosts(phase1)
 		st := t.run()
 		t.phase1 = t.iters
-		if st == StatusIterLimit || st == StatusDeadline {
+		if st == StatusIterLimit || st == StatusDeadline || st == StatusInterrupted {
 			return t.solution(st), nil
 		}
 		if st != StatusOptimal || t.obj > feasTol {
@@ -722,6 +730,9 @@ func (t *tableau) run() Status {
 		if !t.deadline.IsZero() && t.iters%128 == 0 && time.Now().After(t.deadline) {
 			return StatusDeadline
 		}
+		if t.interrupted() {
+			return StatusInterrupted
+		}
 		bland := stall > 2*(s.m+8)
 		pc := t.price(bland)
 		if pc == -1 {
@@ -888,6 +899,9 @@ func (t *tableau) tiebreak() Status {
 		if !t.deadline.IsZero() && t.iters%128 == 0 && time.Now().After(t.deadline) {
 			return StatusDeadline
 		}
+		if t.interrupted() {
+			return StatusInterrupted
+		}
 		bland := stall > 2*(s.m+8)
 		pc, bestVal := -1, -optTol
 		for j := 0; j < s.n; j++ {
@@ -968,8 +982,8 @@ func (p *Problem) solveWarm(s *stdForm, opts SolveOptions) *Solution {
 		// phase-1 stays the canonical feasibility oracle; an iteration cap
 		// must likewise produce exactly the cold solver's capped outcome.
 		return nil
-	case StatusDeadline:
-		sol := t.solution(StatusDeadline)
+	case StatusDeadline, StatusInterrupted:
+		sol := t.solution(st)
 		sol.Warm = true
 		return sol
 	}
@@ -984,8 +998,8 @@ func (p *Problem) solveWarm(s *stdForm, opts SolveOptions) *Solution {
 		st = t.tiebreak()
 	}
 	switch st {
-	case StatusDeadline:
-		sol := t.solution(StatusDeadline)
+	case StatusDeadline, StatusInterrupted:
+		sol := t.solution(st)
 		sol.Warm = true
 		return sol
 	case StatusOptimal, StatusUnbounded:
@@ -1140,6 +1154,9 @@ func (t *tableau) runDual() Status {
 		}
 		if !t.deadline.IsZero() && t.iters%128 == 0 && time.Now().After(t.deadline) {
 			return StatusDeadline
+		}
+		if t.interrupted() {
+			return StatusInterrupted
 		}
 		pr, viol, up := -1, feasTol, false
 		for i := 0; i < s.m; i++ {

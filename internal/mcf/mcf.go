@@ -12,6 +12,7 @@ package mcf
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/demand"
 	"repro/internal/kkt"
@@ -24,6 +25,37 @@ import (
 // a link on their shared shortest path (the paper's Section 5 case).
 var ErrInfeasible = errors.New("mcf: infeasible")
 
+// ValidationError reports an input value a TE instance cannot be built
+// from: a NaN, infinite or negative edge capacity or demand volume. A NaN
+// in particular would silently poison every downstream LP (NaN satisfies no
+// comparison, so the simplex method's ratio tests misbehave instead of
+// failing), which is why construction is where it must be stopped.
+type ValidationError struct {
+	What  string // "edge capacity" or "demand volume"
+	Index int    // edge id or demand index
+	Value float64
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("mcf: invalid %s %g at index %d (must be finite and >= 0)", e.What, e.Value, e.Index)
+}
+
+// validateInputs rejects NaN/Inf/negative capacities and volumes at
+// instance-construction time.
+func validateInputs(g *topology.Graph, set *demand.Set) error {
+	for _, e := range g.Edges() {
+		if math.IsNaN(e.Capacity) || math.IsInf(e.Capacity, 0) || e.Capacity < 0 {
+			return &ValidationError{What: "edge capacity", Index: e.ID, Value: e.Capacity}
+		}
+	}
+	for k := 0; k < set.Len(); k++ {
+		if v := set.Volume(k); math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return &ValidationError{What: "demand volume", Index: k, Value: v}
+		}
+	}
+	return nil
+}
+
 // Instance is a TE problem instance: a topology, a demand set, and the
 // pre-chosen paths per demand (the paper defaults to 2 paths per pair).
 // Paths[k][0] is always the weight-shortest path, the one Demand Pinning
@@ -35,10 +67,14 @@ type Instance struct {
 }
 
 // NewInstance computes up to numPaths shortest paths for every demand pair.
-// It fails if some pair has no path at all.
+// It fails if some pair has no path at all, and rejects NaN, infinite or
+// negative capacities and volumes with a typed *ValidationError.
 func NewInstance(g *topology.Graph, set *demand.Set, numPaths int) (*Instance, error) {
 	if numPaths < 1 {
 		return nil, fmt.Errorf("mcf: numPaths %d < 1", numPaths)
+	}
+	if err := validateInputs(g, set); err != nil {
+		return nil, err
 	}
 	inst := &Instance{G: g, Demands: set, Paths: make([][]topology.Path, set.Len())}
 	for k := 0; k < set.Len(); k++ {

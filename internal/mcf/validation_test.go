@@ -1,0 +1,106 @@
+package mcf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/topology"
+)
+
+// badCapGraph builds a 2-node graph whose single edge capacity is patched
+// to cap after construction (AddEdge itself rejects invalid capacities, so
+// the patch goes through WithCapacities' unexported sibling: direct slice
+// surgery on a copy).
+func badCapGraph(cap float64) *topology.Graph {
+	g := topology.New("bad", 2)
+	g.AddEdge(0, 1, 1)
+	g.Edges()[0].Capacity = cap
+	return g
+}
+
+func TestNewInstanceRejectsNaNCapacity(t *testing.T) {
+	g := badCapGraph(math.NaN())
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}})
+	var ve *ValidationError
+	if _, err := NewInstance(g, set, 1); !errors.As(err, &ve) {
+		t.Fatalf("NaN capacity accepted: %v", err)
+	} else if ve.What != "edge capacity" || ve.Index != 0 {
+		t.Fatalf("wrong rejection: %+v", ve)
+	}
+}
+
+func TestNewInstanceRejectsInfCapacity(t *testing.T) {
+	g := badCapGraph(math.Inf(1))
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}})
+	var ve *ValidationError
+	if _, err := NewInstance(g, set, 1); !errors.As(err, &ve) {
+		t.Fatalf("+Inf capacity accepted: %v", err)
+	}
+}
+
+func TestNewInstanceRejectsNegativeCapacity(t *testing.T) {
+	g := badCapGraph(-3)
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}})
+	var ve *ValidationError
+	if _, err := NewInstance(g, set, 1); !errors.As(err, &ve) {
+		t.Fatalf("negative capacity accepted: %v", err)
+	} else if ve.Value != -3 {
+		t.Fatalf("wrong value reported: %+v", ve)
+	}
+}
+
+// badVolumeSet bypasses the demand setters' own validation by aliasing the
+// volume slice Volumes() exposes.
+func badVolumeSet(v float64) *demand.Set {
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}})
+	set.Volumes()[0] = v
+	return set
+}
+
+func TestNewInstanceRejectsNaNVolume(t *testing.T) {
+	g := topology.New("g", 2)
+	g.AddEdge(0, 1, 100)
+	var ve *ValidationError
+	if _, err := NewInstance(g, badVolumeSet(math.NaN()), 1); !errors.As(err, &ve) {
+		t.Fatalf("NaN volume accepted: %v", err)
+	} else if ve.What != "demand volume" || ve.Index != 0 {
+		t.Fatalf("wrong rejection: %+v", ve)
+	}
+}
+
+func TestNewInstanceRejectsInfVolume(t *testing.T) {
+	g := topology.New("g", 2)
+	g.AddEdge(0, 1, 100)
+	var ve *ValidationError
+	if _, err := NewInstance(g, badVolumeSet(math.Inf(1)), 1); !errors.As(err, &ve) {
+		t.Fatalf("+Inf volume accepted: %v", err)
+	}
+}
+
+func TestNewInstanceRejectsNegativeVolume(t *testing.T) {
+	g := topology.New("g", 2)
+	g.AddEdge(0, 1, 100)
+	var ve *ValidationError
+	if _, err := NewInstance(g, badVolumeSet(-1), 1); !errors.As(err, &ve) {
+		t.Fatalf("negative volume accepted: %v", err)
+	}
+}
+
+func TestNewInstanceAcceptsValidInputs(t *testing.T) {
+	g := topology.New("g", 2)
+	g.AddEdge(0, 1, 100)
+	set := demand.NewSet([]demand.Pair{{Src: 0, Dst: 1}})
+	set.SetVolume(0, 42)
+	if _, err := NewInstance(g, set, 1); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+}
+
+func TestValidationErrorMessage(t *testing.T) {
+	e := &ValidationError{What: "edge capacity", Index: 3, Value: math.NaN()}
+	if e.Error() == "" {
+		t.Fatal("empty message")
+	}
+}

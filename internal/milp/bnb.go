@@ -2,14 +2,23 @@ package milp
 
 import (
 	"container/heap"
+	"context"
+	"errors"
+	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
+	"repro/internal/faultinject"
 	"repro/internal/lp"
 	"repro/internal/obs"
 )
+
+// ctxCancelled reports whether an optional context has been cancelled.
+func ctxCancelled(ctx context.Context) bool { return ctx != nil && ctx.Err() != nil }
 
 const (
 	intTol   = 1e-6 // integrality tolerance for binaries
@@ -95,7 +104,19 @@ type nodeResult struct {
 // that shapes the tree — pruning, incumbents, branching — happens on the
 // coordinator, so a run is reproducible and Workers only changes wall-clock
 // time, never the answer.
-func Solve(m *Model, opts Options) (*Result, error) {
+//
+// With Options.Ctx set the search is cooperatively cancellable
+// (StatusInterrupted with the best-so-far incumbent and a valid bound), and
+// with Options.Checkpoint set the wave-boundary state is persisted
+// atomically so Resume can continue a killed run to the bit-identical
+// answer. On a failed node relaxation (solver error, recovered worker
+// panic, or injected fault) Solve returns both the best-so-far
+// StatusInterrupted result and a non-nil error.
+func Solve(m *Model, opts Options) (*Result, error) { return runSearch(m, opts, nil) }
+
+// runSearch is the engine behind Solve and Resume: a fresh search when resume
+// is nil, otherwise the reconstruction of a checkpointed one.
+func runSearch(m *Model, opts Options, resume *checkpoint.BnBState) (*Result, error) {
 	start := time.Now() //gapvet:allow walltime anchors TimeLimit and elapsed-time reporting; never shapes the tree
 
 	dir := 1.0
@@ -124,14 +145,42 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		tr = tr.With(obs.LogfSink{Logf: opts.Log})
 	}
 
+	// The fingerprint pins everything the explored tree depends on; a
+	// checkpoint from a different model or batch must fail loudly instead of
+	// resuming a structurally different search.
+	fp := fingerprint(m, batch, opts.DepthFirst)
+	if resume != nil && resume.Fingerprint != fp {
+		return nil, &checkpoint.MismatchError{What: "search fingerprint", Want: resume.Fingerprint, Got: fp}
+	}
+	var ckpt *checkpoint.Writer
+	ckptEvery := uint64(1)
+	if opts.Checkpoint != "" {
+		ckpt = &checkpoint.Writer{Path: opts.Checkpoint,
+			FS: faultinject.WrapFS(opts.CheckpointFS, opts.Faults)}
+		if opts.CheckpointEvery > 1 {
+			ckptEvery = uint64(opts.CheckpointEvery)
+		}
+	}
+
 	res := &Result{Status: StatusNoIncumbent}
 	incumbent := math.Inf(-1) // in score space (dir * objective)
 	var incumbentX []float64
 	bestBound := math.Inf(1)
 
+	// elapsed0 is the wall clock the checkpointed run had already consumed;
+	// it offsets elapsed-time reporting and counts against TimeLimit, so a
+	// killed-and-resumed run gets the same total budget as an uninterrupted
+	// one.
+	var elapsed0 time.Duration
+	if resume != nil {
+		elapsed0 = time.Duration(resume.ElapsedNanos)
+	}
+	elapsed := func() time.Duration {
+		return elapsed0 + time.Since(start) //gapvet:allow walltime elapsed-time reporting only
+	}
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
-		deadline = start.Add(opts.TimeLimit)
+		deadline = start.Add(opts.TimeLimit - elapsed0)
 	}
 	// Stall rule state (paper Section 3.3: stop when incremental progress in
 	// a window is below 0.5%).
@@ -140,7 +189,11 @@ func Solve(m *Model, opts Options) (*Result, error) {
 
 	h := &nodeHeap{depthFirst: opts.DepthFirst}
 	var nextID uint64 = 1
-	heap.Push(h, &node{bound: math.Inf(1)}) // root: id 0
+	var waves uint64
+	interrupted := false
+	if resume == nil {
+		heap.Push(h, &node{bound: math.Inf(1)}) // root: id 0
+	}
 
 	// relax is the worker-side work for one node: the LP relaxation plus a
 	// speculative polish. It is a pure function of (nd, waveIncumbent) — it
@@ -153,6 +206,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			BoundOverride: nd.overrides,
 			MaxIters:      opts.LPMaxIters,
 			Deadline:      deadline, // zero when no time limit is set
+			Ctx:           opts.Ctx, // cancels in-flight pivots cooperatively
 			// Warm starting changes only how fast a node's relaxation is
 			// solved, never its outcome (lp falls back to the cold path on
 			// any doubt), so the explored tree stays bit-identical.
@@ -172,12 +226,29 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		return r
 	}
 
+	// runNode wraps relax with panic recovery: a panicking worker (a Polish
+	// bug, or the injected worker-panic fault) becomes a typed error in its
+	// fixed result slot while the rest of the pool drains normally, and the
+	// coordinator surfaces it in deterministic wave order. waveNo is the
+	// 1-based index of the wave being solved.
+	runNode := func(waveNo uint64, i int, nd *node, waveIncumbent float64) (r nodeResult) {
+		defer func() {
+			if p := recover(); p != nil {
+				r = nodeResult{err: &WorkerPanicError{Wave: waveNo, Node: nd.id, Value: p, Stack: debug.Stack()}}
+			}
+		}()
+		if i == 0 && opts.Faults.At(faultinject.OpWorkerPanic, int(waveNo)) {
+			panic(&faultinject.Error{Op: faultinject.OpWorkerPanic, N: int(waveNo)})
+		}
+		return relax(nd, waveIncumbent)
+	}
+
 	// recordIncumbent appends a fully-populated trace point and emits the
 	// matching event. obj and bound are in the problem's own sense.
 	recordIncumbent := func(obj float64, source string) {
 		bound := dir * bestBound
 		res.Trace = append(res.Trace, TracePoint{
-			Elapsed:   time.Since(start), //gapvet:allow walltime trace timestamps are reporting-only
+			Elapsed:   elapsed(),
 			Objective: obj,
 			Bound:     bound,
 			Nodes:     res.Nodes,
@@ -188,7 +259,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	}
 
 	finish := func(status Status) *Result {
-		res.Elapsed = time.Since(start) //gapvet:allow walltime elapsed-time reporting only
+		res.Elapsed = elapsed()
 		res.Status = status
 		if incumbentX != nil {
 			res.Objective = dir * incumbent
@@ -227,19 +298,90 @@ func Solve(m *Model, opts Options) (*Result, error) {
 
 	infeasibleProven := true // becomes false the moment we stop early
 
-	// Install caller-provided seed solutions as starting incumbents.
-	for _, sd := range opts.Seeds {
-		if score := dir * sd.Objective; score > incumbent {
-			incumbent = score
-			incumbentX = append([]float64(nil), sd.X...)
-			recordIncumbent(sd.Objective, SourceSeed)
-			if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
-				infeasibleProven = false
-				return finish(StatusFeasible), nil
+	if resume != nil {
+		// Reconstruct the wave-boundary state verbatim. Seeds are NOT
+		// re-installed: the snapshot's incumbent already dominates every seed
+		// the original run accepted, and replaying them would double-count
+		// trace points.
+		res.Nodes = int(resume.Nodes)
+		res.LPSolves = int(resume.LPSolves)
+		res.LPIters = int(resume.LPIters)
+		res.WarmLPSolves = int(resume.WarmLPSolves)
+		res.WarmLPFallbacks = int(resume.WarmLPFallbacks)
+		res.Trace = traceIn(resume.Trace)
+		if resume.HasIncumbent {
+			incumbent = resume.Incumbent
+			incumbentX = append([]float64(nil), resume.IncumbentX...)
+		}
+		bestBound = resume.BestBound
+		infeasibleProven = resume.InfeasibleProven
+		nextID = resume.NextID
+		waves = resume.Waves
+		h = frontierIn(resume.Frontier, opts.DepthFirst)
+		tr.Emit(obs.Event{Kind: obs.KindResume, Objective: dir * incumbent,
+			Bound: dir * bestBound, Nodes: res.Nodes, Detail: opts.Checkpoint})
+	} else {
+		// Install caller-provided seed solutions as starting incumbents.
+		for _, sd := range opts.Seeds {
+			if score := dir * sd.Objective; score > incumbent {
+				incumbent = score
+				incumbentX = append([]float64(nil), sd.X...)
+				recordIncumbent(sd.Objective, SourceSeed)
+				if opts.Target != nil && incumbent >= dir**opts.Target-boundTol {
+					infeasibleProven = false
+					return finish(StatusFeasible), nil
+				}
 			}
 		}
 	}
 	windowIncumbent = incumbent
+
+	// capture snapshots the wave-boundary state. Only called between waves
+	// (no node in flight), so every field is a settled coordinator-side
+	// value.
+	capture := func() *checkpoint.Snapshot {
+		st := &checkpoint.BnBState{
+			Fingerprint:      fp,
+			Waves:            waves,
+			NextID:           nextID,
+			Nodes:            int64(res.Nodes),
+			LPSolves:         int64(res.LPSolves),
+			LPIters:          int64(res.LPIters),
+			WarmLPSolves:     int64(res.WarmLPSolves),
+			WarmLPFallbacks:  int64(res.WarmLPFallbacks),
+			BestBound:        bestBound,
+			InfeasibleProven: infeasibleProven,
+			ElapsedNanos:     elapsed().Nanoseconds(),
+			Frontier:         frontierOut(h),
+			Trace:            traceOut(res.Trace),
+		}
+		if incumbentX != nil {
+			st.HasIncumbent = true
+			st.Incumbent = incumbent
+			st.IncumbentX = append([]float64(nil), incumbentX...)
+		}
+		return &checkpoint.Snapshot{BnB: st}
+	}
+	// writeCheckpoint persists the snapshot atomically. A failed write (disk
+	// full, injected fault) is reported on the trace and otherwise ignored:
+	// the previous good snapshot survives untouched, and losing a checkpoint
+	// must never lose the search.
+	writeCheckpoint := func() {
+		if ckpt == nil || waves%ckptEvery != 0 {
+			return
+		}
+		if err := ckpt.Save(capture()); err != nil {
+			if errors.Is(err, faultinject.ErrInjected) {
+				tr.Emit(obs.Event{Kind: obs.KindFaultInjected, Nodes: res.Nodes,
+					Detail: err.Error()})
+			}
+			tr.Emit(obs.Event{Kind: obs.KindCheckpointWrite, Nodes: res.Nodes,
+				Status: "error", Detail: err.Error()})
+			return
+		}
+		tr.Emit(obs.Event{Kind: obs.KindCheckpointWrite, Nodes: res.Nodes,
+			Status: "ok", Detail: opts.Checkpoint})
+	}
 
 	wave := make([]*node, 0, batch)
 	resBuf := make([]nodeResult, batch)
@@ -271,7 +413,23 @@ func Solve(m *Model, opts Options) (*Result, error) {
 			}
 		}
 		// Stopping rules, checked only at wave boundaries (no node is ever
-		// in flight here).
+		// in flight here). The interrupt check comes BEFORE the checkpoint
+		// write: a wave cut short mid-apply pushed its unexplored nodes back,
+		// and snapshotting that mixed frontier would not reproduce the
+		// uninterrupted pop order. Disk always holds the last complete wave
+		// boundary; resume re-does the final wave in full.
+		if interrupted || ctxCancelled(opts.Ctx) {
+			interrupted = true
+			infeasibleProven = false
+			break
+		}
+		writeCheckpoint()
+		if opts.Faults.At(faultinject.OpDeadline, int(waves)+1) {
+			tr.Emit(obs.Event{Kind: obs.KindFaultInjected, Nodes: res.Nodes,
+				Detail: fmt.Sprintf("%s fault at wave %d", faultinject.OpDeadline, waves+1)})
+			infeasibleProven = false
+			break
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			infeasibleProven = false
 			break
@@ -323,9 +481,10 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		// result slot is fixed by wave position, so scheduling cannot leak
 		// into the outcome.
 		results := resBuf[:len(wave)]
+		waveNo := waves + 1
 		if workers == 1 || len(wave) == 1 {
 			for i, nd := range wave {
-				results[i] = relax(nd, incumbent)
+				results[i] = runNode(waveNo, i, nd, incumbent)
 			}
 		} else {
 			waveIncumbent := incumbent
@@ -341,7 +500,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 						if i >= len(wave) {
 							return
 						}
-						results[i] = relax(wave[i], waveIncumbent)
+						results[i] = runNode(waveNo, i, wave[i], waveIncumbent)
 					}
 				}()
 			}
@@ -351,8 +510,31 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		// Apply results sequentially in wave (= deterministic pop) order.
 		for wi, nd := range wave {
 			wr := results[wi]
+			// The nth-LP-solve fault is counted here, at the apply step, so
+			// the firing point is a position in the deterministic tree rather
+			// than a race between workers.
+			if n, fire := opts.Faults.Hit(faultinject.OpLPSolve); fire && wr.err == nil {
+				wr = nodeResult{err: &faultinject.Error{Op: faultinject.OpLPSolve, N: n}}
+			}
 			if wr.err != nil {
-				return nil, wr.err
+				// A failed relaxation (solver error, recovered worker panic, or
+				// injected fault) voids any completeness proof but not the
+				// incumbent: return the best-so-far result alongside the error.
+				if errors.Is(wr.err, faultinject.ErrInjected) {
+					tr.Emit(obs.Event{Kind: obs.KindFaultInjected, Nodes: res.Nodes,
+						Detail: wr.err.Error()})
+				}
+				infeasibleProven = false
+				return finish(StatusInterrupted), fmt.Errorf("milp: node relaxation failed: %w", wr.err)
+			}
+			if wr.sol != nil && wr.sol.Status == lp.StatusInterrupted {
+				// Cancelled mid-pivot: the node was never evaluated, so push it
+				// back unexplored (before any counting) — the frontier and the
+				// reported bound stay exactly valid — and let the wave-boundary
+				// check stop the loop.
+				heap.Push(h, nd)
+				interrupted = true
+				continue
 			}
 			// Intra-wave re-check: an earlier node of this wave may have
 			// raised the incumbent past this node's bound. Never fires when
@@ -526,9 +708,13 @@ func Solve(m *Model, opts Options) (*Result, error) {
 				heap.Push(h, mk(pr.V, 0, 0))
 			}
 		}
+		waves++
 	}
 
 	if incumbentX == nil {
+		if interrupted {
+			return finish(StatusInterrupted), nil
+		}
 		if infeasibleProven && h.Len() == 0 {
 			return finish(StatusInfeasible), nil
 		}
@@ -537,6 +723,9 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	if h.Len() == 0 && infeasibleProven {
 		bestBound = incumbent
 		return finish(StatusOptimal), nil
+	}
+	if interrupted {
+		return finish(StatusInterrupted), nil
 	}
 	return finish(StatusFeasible), nil
 }

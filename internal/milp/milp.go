@@ -12,9 +12,12 @@
 package milp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/checkpoint"
+	"repro/internal/faultinject"
 	"repro/internal/lp"
 	"repro/internal/obs"
 )
@@ -133,6 +136,12 @@ const (
 	StatusNoIncumbent
 	// StatusUnbounded means the root relaxation is unbounded.
 	StatusUnbounded
+	// StatusInterrupted means Options.Ctx was cancelled (operator signal,
+	// parent shutdown) before the search finished. The incumbent, bound and
+	// counters are the valid best-so-far state — exactly what a checkpoint
+	// written at the last wave boundary holds — so an interrupted run still
+	// reports a genuine gap certificate.
+	StatusInterrupted
 )
 
 func (s Status) String() string {
@@ -145,8 +154,12 @@ func (s Status) String() string {
 		return "infeasible"
 	case StatusNoIncumbent:
 		return "no-incumbent"
-	default:
+	case StatusUnbounded:
 		return "unbounded"
+	case StatusInterrupted:
+		return "interrupted"
+	default:
+		return "unknown"
 	}
 }
 
@@ -220,6 +233,33 @@ type Options struct {
 	// argument, not on call order (memoize results rather than suppressing
 	// repeats — see internal/core's priceCache).
 	Polish func(x []float64) (obj float64, sol []float64, ok bool)
+	// Ctx, if non-nil, cancels the search cooperatively: the coordinator
+	// polls it at every wave boundary (and forwards it to node LPs), and a
+	// cancelled context ends the run with StatusInterrupted carrying the
+	// best-so-far incumbent and a valid bound. Nodes whose relaxation was
+	// cut off mid-pivot are pushed back onto the frontier unexplored, so the
+	// open-node set — and any checkpoint written from it — stays complete.
+	Ctx context.Context
+	// Checkpoint, when non-empty, is a file path the coordinator atomically
+	// rewrites with the full search state (incumbent, frontier with
+	// warm-start bases, counters, wave cursor) at wave boundaries. A run
+	// killed at any point can be continued with Resume and finishes with
+	// the bit-identical incumbent, bound and node count the uninterrupted
+	// run would have reported. Write failures are reported as
+	// KindCheckpointWrite error events and do not stop the search.
+	Checkpoint string
+	// CheckpointEvery writes the snapshot every N completed waves
+	// (default 1: every wave boundary).
+	CheckpointEvery int
+	// CheckpointFS overrides the filesystem used for checkpoint writes —
+	// the fault-injection seam. Nil selects the OS.
+	CheckpointFS checkpoint.FS
+	// Faults, if non-nil, is a deterministic fault plan (see
+	// internal/faultinject): injected LP failures surface as typed errors
+	// alongside a StatusInterrupted best-so-far result, worker panics are
+	// recovered and drained deterministically, and forced deadline expiry
+	// takes the regular deadline path.
+	Faults *faultinject.Plan
 	// Tracer, if non-nil, receives structured events (node explored/pruned/
 	// branched, LP solve start/end, incumbents, stall checks, polish
 	// outcomes, solve done). A nil tracer costs nothing in the hot loop.

@@ -52,12 +52,12 @@ func (r Record) Event() Event {
 }
 
 func kindFromString(s string) Kind {
-	for k := KindLPSolveStart; k <= KindSolveDone; k++ {
+	for k := KindLPSolveStart; k <= KindFaultInjected; k++ {
 		if k.String() == s {
 			return k
 		}
 	}
-	return KindSolveDone + 1 // out-of-range marker; String() says "unknown"
+	return KindFaultInjected + 1 // out-of-range marker; String() says "unknown"
 }
 
 func recordOf(e Event) Record {

@@ -263,6 +263,8 @@ type MetricsSink struct {
 	polishAcc, polishRej     *Counter
 	restarts, moves, rejects *Counter
 	solves                   *Counter
+	ckptWrites, ckptErrors   *Counter
+	resumes, faults          *Counter
 }
 
 // NewMetricsSink returns a sink recording into r (Default when nil).
@@ -284,6 +286,10 @@ func NewMetricsSink(r *Registry) *MetricsSink {
 		moves:      r.Counter("blackbox_accepts_total"),
 		rejects:    r.Counter("blackbox_rejects_total"),
 		solves:     r.Counter("bnb_solves_total"),
+		ckptWrites: r.Counter("checkpoint_writes_total"),
+		ckptErrors: r.Counter("checkpoint_write_errors_total"),
+		resumes:    r.Counter("checkpoint_resumes_total"),
+		faults:     r.Counter("fault_injected_total"),
 	}
 }
 
@@ -325,6 +331,15 @@ func (s *MetricsSink) Emit(e Event) {
 		s.rejects.Inc()
 	case KindSolveDone:
 		s.solves.Inc()
+	case KindCheckpointWrite:
+		s.ckptWrites.Inc()
+		if e.Status == "error" {
+			s.ckptErrors.Inc()
+		}
+	case KindResume:
+		s.resumes.Inc()
+	case KindFaultInjected:
+		s.faults.Inc()
 	case KindPhaseEnd:
 		s.r.Histogram("phase_" + e.Phase + "_seconds").Observe(e.Dur.Seconds())
 	}

@@ -66,6 +66,16 @@ const (
 	// dual feasibility, or a repair that failed to converge). Iters carries
 	// the solve's pivot count.
 	KindWarmFallback
+	// KindCheckpointWrite marks one checkpoint snapshot attempt; Status is
+	// "ok" or "error" (Detail carries the error text), Nodes the explored
+	// count at capture time.
+	KindCheckpointWrite
+	// KindResume marks a search reconstructed from a checkpoint; Nodes,
+	// Objective and Bound carry the restored counters.
+	KindResume
+	// KindFaultInjected marks a deterministic fault-plan trigger firing;
+	// Detail names the fault operation and occurrence.
+	KindFaultInjected
 )
 
 func (k Kind) String() string {
@@ -102,6 +112,12 @@ func (k Kind) String() string {
 		return "solve_done"
 	case KindWarmFallback:
 		return "warm_fallback"
+	case KindCheckpointWrite:
+		return "checkpoint_write"
+	case KindResume:
+		return "resume"
+	case KindFaultInjected:
+		return "fault_injected"
 	default:
 		return "unknown"
 	}

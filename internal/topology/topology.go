@@ -60,13 +60,18 @@ func (g *Graph) AddEdge(from, to Node, capacity float64) int {
 	return g.AddEdgeW(from, to, capacity, 1)
 }
 
-// AddEdgeW adds a directed edge with an explicit routing weight.
+// AddEdgeW adds a directed edge with an explicit routing weight. NaN,
+// infinite or negative capacities panic: they would build an instance no
+// flow solver downstream can price.
 func (g *Graph) AddEdgeW(from, to Node, capacity, weight float64) int {
 	if from < 0 || int(from) >= g.n || to < 0 || int(to) >= g.n {
 		panic(fmt.Sprintf("topology: edge %d->%d out of range [0,%d)", from, to, g.n))
 	}
 	if from == to {
 		panic(fmt.Sprintf("topology: self-loop at node %d", from))
+	}
+	if math.IsNaN(capacity) || math.IsInf(capacity, 0) || capacity < 0 {
+		panic(fmt.Sprintf("topology: invalid capacity %g on edge %d->%d (must be finite and >= 0)", capacity, from, to))
 	}
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Capacity: capacity, Weight: weight})
@@ -90,8 +95,8 @@ func (g *Graph) WithCapacities(caps []float64) *Graph {
 	ng := &Graph{name: g.name, n: g.n, out: g.out}
 	ng.edges = append([]Edge(nil), g.edges...)
 	for i := range ng.edges {
-		if caps[i] < 0 {
-			panic(fmt.Sprintf("topology: negative capacity %g on edge %d", caps[i], i))
+		if math.IsNaN(caps[i]) || math.IsInf(caps[i], 0) || caps[i] < 0 {
+			panic(fmt.Sprintf("topology: invalid capacity %g on edge %d (must be finite and >= 0)", caps[i], i))
 		}
 		ng.edges[i].Capacity = caps[i]
 	}

@@ -35,6 +35,10 @@ func TestAddEdgePanics(t *testing.T) {
 		func() { g.AddEdge(0, 5, 1) },
 		func() { g.AddEdge(-1, 0, 1) },
 		func() { g.AddEdge(1, 1, 1) },
+		func() { g.AddEdge(0, 1, math.NaN()) },
+		func() { g.AddEdge(0, 1, math.Inf(1)) },
+		func() { g.AddEdge(0, 1, -1) },
+		func() { g.AddEdge(0, 1, 1); g.WithCapacities([]float64{math.NaN()}) },
 	} {
 		func() {
 			defer func() {
