@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt test lint gapvet vuln
+.PHONY: all build fmt test lint gapvet vuln bench bench-check
 
 all: build lint test
 
@@ -31,3 +31,23 @@ gapvet:
 
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+# BASELINE resolves to the newest committed benchmark ledger; bench-check
+# gates the working tree against it. Dates sort lexicographically, so the
+# plain sort picks the latest.
+BASELINE = $(shell ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+
+# bench runs the full canonical fixture suite and writes BENCH_<today>.json
+# in the repo root. Commit the file to bless it as the new baseline (see
+# EXPERIMENTS.md "The benchmark ledger").
+bench:
+	$(GO) run ./cmd/gapbench
+
+# bench-check re-runs the suite and gates against the latest committed
+# baseline: deterministic counters (nodes, pivots, lp_iters, histogram
+# counts) must not regress at all; wall-clock metrics get a ±25% band with
+# an absolute floor. The candidate ledger lands in /tmp so it cannot
+# clobber the baseline.
+bench-check:
+	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline committed; run 'make bench' and commit the result" >&2; exit 1; }
+	$(GO) run ./cmd/gapbench -out /tmp/bench-candidate.json -against $(BASELINE)

@@ -1,0 +1,43 @@
+// Package benchstore mirrors the real benchmark-ledger package: its path
+// tail is on walltime's denied list even though measuring wall clock is its
+// purpose. The contract is that the stopwatch sites carry an annotation
+// naming themselves as such; an unannotated clock read — say, one sneaking
+// into the codec or the comparison engine — must still fail vet.
+package benchstore
+
+import "time"
+
+type timing struct {
+	best time.Duration
+}
+
+// measure is the sanctioned shape: both clock reads annotated as the
+// ledger's stopwatch.
+func measure(reps int, f func()) timing {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		//gapvet:allow walltime benchmark stopwatch: measuring wall clock is this package's purpose
+		start := time.Now()
+		f()
+		d := time.Since(start) //gapvet:allow walltime benchmark stopwatch: measuring wall clock is this package's purpose
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return timing{best: best}
+}
+
+// compareish is the failure mode the denied-list entry exists to catch: a
+// clock read with no annotation, off the stopwatch path.
+func compareish() int64 {
+	stamp := time.Now() // want "time.Now in solver package"
+	return stamp.UnixNano()
+}
+
+func stale(t0 time.Time) bool {
+	return time.Since(t0) > time.Second // want "time.Since in solver package"
+}
+
+func deadlineGuard(deadline time.Time) bool {
+	return time.Now().After(deadline)
+}

@@ -9,3 +9,10 @@ func TestWalltimeFlagging(t *testing.T) {
 func TestWalltimeNonDeniedPackage(t *testing.T) {
 	RunGolden(t, Walltime, "walltime/obs")
 }
+
+// TestWalltimeBenchstore pins the benchmark-ledger discipline: benchstore is
+// on the denied list, so its annotated stopwatch sites pass while any bare
+// clock read (e.g. in codec or comparison code) still fails.
+func TestWalltimeBenchstore(t *testing.T) {
+	RunGolden(t, Walltime, "walltime/benchstore")
+}

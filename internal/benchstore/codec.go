@@ -1,0 +1,100 @@
+package benchstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Encode renders f in the canonical BENCH form: schema-checked, fixtures and
+// metrics sorted by name, duplicate names rejected, two-space indentation,
+// trailing newline. Encoding equal states yields byte-identical output. The
+// input is normalized in place (slices are sorted).
+func Encode(f *File) ([]byte, error) {
+	if err := Normalize(f); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a BENCH file, rejecting unknown schema versions and
+// duplicate fixture/metric names, and normalizes the result so that
+// Encode(Decode(b)) is canonical regardless of the input's ordering.
+func Decode(b []byte) (*File, error) {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(b))
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("benchstore: decode: %w", err)
+	}
+	if err := Normalize(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Normalize sorts f's fixtures and per-fixture metric slices by name and
+// validates the file: the schema version must be current and names must be
+// unique (a duplicate would make comparison verdicts ambiguous).
+func Normalize(f *File) error {
+	if f.Schema != SchemaVersion {
+		return fmt.Errorf("benchstore: schema %d not supported (want %d)", f.Schema, SchemaVersion)
+	}
+	sort.Slice(f.Fixtures, func(i, j int) bool { return f.Fixtures[i].Name < f.Fixtures[j].Name })
+	for i := range f.Fixtures {
+		fx := &f.Fixtures[i]
+		if fx.Name == "" {
+			return fmt.Errorf("benchstore: fixture %d has no name", i)
+		}
+		if i > 0 && f.Fixtures[i-1].Name == fx.Name {
+			return fmt.Errorf("benchstore: duplicate fixture %q", fx.Name)
+		}
+		sort.Slice(fx.Hard, func(a, b int) bool { return fx.Hard[a].Name < fx.Hard[b].Name })
+		sort.Slice(fx.Soft, func(a, b int) bool { return fx.Soft[a].Name < fx.Soft[b].Name })
+		sort.Slice(fx.Histograms, func(a, b int) bool { return fx.Histograms[a].Name < fx.Histograms[b].Name })
+		if name, ok := dupCounter(fx.Hard); ok {
+			return fmt.Errorf("benchstore: fixture %q: duplicate hard metric %q", fx.Name, name)
+		}
+		if name, ok := dupValue(fx.Soft); ok {
+			return fmt.Errorf("benchstore: fixture %q: duplicate soft metric %q", fx.Name, name)
+		}
+		if name, ok := dupHistogram(fx.Histograms); ok {
+			return fmt.Errorf("benchstore: fixture %q: duplicate histogram %q", fx.Name, name)
+		}
+	}
+	return nil
+}
+
+// The three dup helpers scan sorted slices for adjacent equal names.
+func dupCounter(s []Counter) (string, bool) {
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Name == s[i].Name {
+			return s[i].Name, true
+		}
+	}
+	return "", false
+}
+
+func dupValue(s []Value) (string, bool) {
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Name == s[i].Name {
+			return s[i].Name, true
+		}
+	}
+	return "", false
+}
+
+func dupHistogram(s []Histogram) (string, bool) {
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Name == s[i].Name {
+			return s[i].Name, true
+		}
+	}
+	return "", false
+}

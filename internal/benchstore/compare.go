@@ -1,0 +1,329 @@
+package benchstore
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Verdict classifies one metric's movement between two ledgers.
+type Verdict string
+
+const (
+	// VerdictImprovement: the metric moved in the good direction (hard:
+	// strictly smaller; soft: below the tolerance band).
+	VerdictImprovement Verdict = "improvement"
+	// VerdictWithin: unchanged (hard) or inside the tolerance band (soft).
+	VerdictWithin Verdict = "within-tolerance"
+	// VerdictRegression: the metric got worse (hard: any increase; soft:
+	// above the tolerance band).
+	VerdictRegression Verdict = "regression"
+	// VerdictMissing: the baseline has the fixture/metric but the candidate
+	// does not, or the fixtures' search fingerprints diverge so their hard
+	// counters are not comparable. Always a hard failure: losing coverage
+	// (or silently changing the tree shape) must not pass a gate.
+	VerdictMissing Verdict = "missing-fixture"
+)
+
+// DefaultSoftTolerance is the relative band for soft (wall-clock) metrics:
+// ±25% absorbs scheduler noise on shared CI machines while still flagging a
+// genuine 2x slowdown.
+const DefaultSoftTolerance = 0.25
+
+// DefaultSoftFloor is the absolute change below which a soft metric never
+// gates, regardless of relative movement. Micro-fixtures finish in
+// microseconds, where a cache hiccup doubles the reading; 0.01 (10ms for
+// the seconds-denominated metrics) silences that noise while leaving
+// alloc-count metrics, whose values are orders of magnitude larger,
+// effectively un-floored.
+const DefaultSoftFloor = 0.01
+
+// Options configures a comparison.
+type Options struct {
+	// SoftTolerance is the relative tolerance for soft metrics;
+	// DefaultSoftTolerance when zero or negative.
+	SoftTolerance float64
+	// SoftFloor is the absolute soft-metric change below which the verdict
+	// is always within-tolerance; DefaultSoftFloor when zero, disabled when
+	// negative.
+	SoftFloor float64
+}
+
+// Delta is one metric's verdict. Old/New are widened to float64 for uniform
+// reporting; hard counters are exact (they are far below 2^53).
+type Delta struct {
+	Fixture string
+	Metric  string
+	Hard    bool
+	Old     float64
+	New     float64
+	Verdict Verdict
+	Note    string
+}
+
+// Report is the outcome of comparing a candidate ledger against a baseline.
+// Deltas are ordered by (fixture, metric class, metric name) — the canonical
+// sorted order of the underlying files — so a report is deterministic.
+type Report struct {
+	BaselineDate  string
+	CandidateDate string
+	SoftTolerance float64
+	SoftFloor     float64
+	Deltas        []Delta
+	// NewFixtures lists candidate fixtures absent from the baseline:
+	// informational, never a failure (nothing to regress against).
+	NewFixtures []string
+}
+
+// Compare diffs candidate against baseline. Both files are normalized (and
+// validated) first; fixtures present only in the baseline, metrics present
+// only in the baseline, and fingerprint mismatches all surface as
+// VerdictMissing hard failures.
+func Compare(baseline, candidate *File, opt Options) (*Report, error) {
+	if err := Normalize(baseline); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := Normalize(candidate); err != nil {
+		return nil, fmt.Errorf("candidate: %w", err)
+	}
+	tol := opt.SoftTolerance
+	if tol <= 0 {
+		tol = DefaultSoftTolerance
+	}
+	floor := opt.SoftFloor
+	if floor == 0 {
+		floor = DefaultSoftFloor
+	}
+	rep := &Report{BaselineDate: baseline.Date, CandidateDate: candidate.Date, SoftTolerance: tol, SoftFloor: floor}
+	for i := range baseline.Fixtures {
+		bf := &baseline.Fixtures[i]
+		cf := candidate.FindFixture(bf.Name)
+		if cf == nil {
+			rep.add(Delta{Fixture: bf.Name, Metric: "(fixture)", Hard: true,
+				Verdict: VerdictMissing, Note: "fixture missing from candidate"})
+			continue
+		}
+		if bf.Fingerprint != "" && cf.Fingerprint != "" && bf.Fingerprint != cf.Fingerprint {
+			rep.add(Delta{Fixture: bf.Name, Metric: "fingerprint", Hard: true,
+				Verdict: VerdictMissing,
+				Note: fmt.Sprintf("search fingerprint changed (%s -> %s): tree-shaping inputs differ, counters not comparable; bless a new baseline if intentional",
+					bf.Fingerprint, cf.Fingerprint)})
+			continue
+		}
+		compareFixture(rep, bf, cf, tol, floor)
+	}
+	for i := range candidate.Fixtures {
+		if baseline.FindFixture(candidate.Fixtures[i].Name) == nil {
+			rep.NewFixtures = append(rep.NewFixtures, candidate.Fixtures[i].Name)
+		}
+	}
+	return rep, nil
+}
+
+func compareFixture(rep *Report, bf, cf *Fixture, tol, floor float64) {
+	// Hard counters: exact. Any increase is a regression — these are pure
+	// functions of fixture and seed under the determinism contract.
+	candHard := make(map[string]int64, len(cf.Hard))
+	for _, c := range cf.Hard {
+		candHard[c.Name] = c.Value
+	}
+	for _, b := range bf.Hard {
+		nv, ok := candHard[b.Name]
+		if !ok {
+			rep.add(Delta{Fixture: bf.Name, Metric: b.Name, Hard: true, Old: float64(b.Value),
+				Verdict: VerdictMissing, Note: "hard metric missing from candidate"})
+			continue
+		}
+		rep.add(Delta{Fixture: bf.Name, Metric: b.Name, Hard: true,
+			Old: float64(b.Value), New: float64(nv), Verdict: verdictHard(b.Value, nv)})
+	}
+	// Histogram observation counts are deterministic (one observation per
+	// phase execution); sums are wall clock. Split them accordingly.
+	candHist := make(map[string]Histogram, len(cf.Histograms))
+	for _, h := range cf.Histograms {
+		candHist[h.Name] = h
+	}
+	for _, b := range bf.Histograms {
+		ch, ok := candHist[b.Name]
+		if !ok {
+			rep.add(Delta{Fixture: bf.Name, Metric: b.Name + "_count", Hard: true, Old: float64(b.Count),
+				Verdict: VerdictMissing, Note: "histogram missing from candidate"})
+			continue
+		}
+		rep.add(Delta{Fixture: bf.Name, Metric: b.Name + "_count", Hard: true,
+			Old: float64(b.Count), New: float64(ch.Count),
+			Verdict: verdictHard(int64(b.Count), int64(ch.Count))})
+		rep.add(Delta{Fixture: bf.Name, Metric: b.Name + "_sum", Hard: false,
+			Old: float64(b.Sum), New: float64(ch.Sum),
+			Verdict: verdictSoft(float64(b.Sum), float64(ch.Sum), tol, floor)})
+	}
+	// Soft metrics: relative tolerance band.
+	candSoft := make(map[string]float64, len(cf.Soft))
+	for _, v := range cf.Soft {
+		candSoft[v.Name] = float64(v.Value)
+	}
+	for _, b := range bf.Soft {
+		nv, ok := candSoft[b.Name]
+		if !ok {
+			rep.add(Delta{Fixture: bf.Name, Metric: b.Name, Hard: false, Old: float64(b.Value),
+				Verdict: VerdictMissing, Note: "soft metric missing from candidate"})
+			continue
+		}
+		rep.add(Delta{Fixture: bf.Name, Metric: b.Name, Hard: false,
+			Old: float64(b.Value), New: nv, Verdict: verdictSoft(float64(b.Value), nv, tol, floor)})
+	}
+}
+
+func (r *Report) add(d Delta) { r.Deltas = append(r.Deltas, d) }
+
+// verdictHard gates a deterministic counter: smaller is better, equality is
+// the expected no-change outcome.
+func verdictHard(old, new int64) Verdict {
+	switch {
+	case new > old:
+		return VerdictRegression
+	case new < old:
+		return VerdictImprovement
+	default:
+		return VerdictWithin
+	}
+}
+
+// verdictSoft gates a wall-clock metric through a relative tolerance band
+// with an absolute floor: changes smaller than floor never gate (they are
+// micro-fixture noise, not signal). A non-positive or non-finite baseline
+// gives no usable scale, so the verdict degrades to within-tolerance rather
+// than guessing.
+func verdictSoft(old, new, tol, floor float64) Verdict {
+	if old <= 0 || math.IsNaN(old) || math.IsInf(old, 0) || math.IsNaN(new) || math.IsInf(new, 0) {
+		return VerdictWithin
+	}
+	if math.Abs(new-old) <= floor {
+		return VerdictWithin
+	}
+	ratio := new / old
+	switch {
+	case ratio > 1+tol:
+		return VerdictRegression
+	case ratio < 1-tol:
+		return VerdictImprovement
+	default:
+		return VerdictWithin
+	}
+}
+
+// HardFailures returns every delta that must fail a gate: hard regressions
+// and anything missing (fixture, metric, or comparable fingerprint).
+func (r *Report) HardFailures() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Verdict == VerdictMissing || (d.Hard && d.Verdict == VerdictRegression) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SoftRegressions returns soft-metric deltas outside the tolerance band.
+func (r *Report) SoftRegressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if !d.Hard && d.Verdict == VerdictRegression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// pct renders the relative change as a signed percentage, or "n/a" when the
+// baseline gives no scale.
+func pct(old, new float64) string {
+	if old <= 0 || math.IsNaN(old) || math.IsInf(old, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+// num renders a metric value: integers exactly, floats in shortest form.
+func num(v float64) string {
+	if v-math.Trunc(v) == 0 && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteText renders the report for humans: per fixture, every delta whose
+// verdict is not within-tolerance (with a within count), then a summary
+// line. Output is deterministic — the golden test in compare_test.go pins
+// it.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "benchstore: candidate %s vs baseline %s (soft tolerance ±%.0f%%)\n",
+		r.CandidateDate, r.BaselineDate, 100*r.SoftTolerance); err != nil {
+		return err
+	}
+	var hardReg, softReg, improved, missing, within int
+	fixture := ""
+	withinFixture := 0
+	flushWithin := func() error {
+		if withinFixture > 0 {
+			if _, err := fmt.Fprintf(w, "  (%d metrics within tolerance)\n", withinFixture); err != nil {
+				return err
+			}
+		}
+		withinFixture = 0
+		return nil
+	}
+	for _, d := range r.Deltas {
+		if d.Fixture != fixture {
+			if err := flushWithin(); err != nil {
+				return err
+			}
+			fixture = d.Fixture
+			if _, err := fmt.Fprintf(w, "\nfixture %s\n", fixture); err != nil {
+				return err
+			}
+		}
+		kind := "soft"
+		if d.Hard {
+			kind = "hard"
+		}
+		switch d.Verdict {
+		case VerdictWithin:
+			within++
+			withinFixture++
+			continue
+		case VerdictImprovement:
+			improved++
+			if _, err := fmt.Fprintf(w, "  improvement %s %-28s %12s -> %-12s %s\n",
+				kind, d.Metric, num(d.Old), num(d.New), pct(d.Old, d.New)); err != nil {
+				return err
+			}
+		case VerdictRegression:
+			if d.Hard {
+				hardReg++
+			} else {
+				softReg++
+			}
+			if _, err := fmt.Fprintf(w, "  REGRESSION  %s %-28s %12s -> %-12s %s\n",
+				kind, d.Metric, num(d.Old), num(d.New), pct(d.Old, d.New)); err != nil {
+				return err
+			}
+		case VerdictMissing:
+			missing++
+			if _, err := fmt.Fprintf(w, "  MISSING     %s %-28s %s\n", kind, d.Metric, d.Note); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushWithin(); err != nil {
+		return err
+	}
+	for _, name := range r.NewFixtures {
+		if _, err := fmt.Fprintf(w, "\nnew fixture %s (no baseline; informational)\n", name); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\nsummary: %d hard regressions, %d missing, %d soft regressions, %d improvements, %d within tolerance\n",
+		hardReg, missing, softReg, improved, within)
+	return err
+}

@@ -1,0 +1,223 @@
+package benchstore
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestVerdictHardTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new int64
+		want     Verdict
+	}{
+		{"equal-is-within", 2023, 2023, VerdictWithin},
+		{"zero-equal", 0, 0, VerdictWithin},
+		{"any-increase-regresses", 2023, 2024, VerdictRegression},
+		{"huge-increase-regresses", 10, 1000, VerdictRegression},
+		{"any-decrease-improves", 2023, 2022, VerdictImprovement},
+		{"to-zero-improves", 5, 0, VerdictImprovement},
+	}
+	for _, tc := range cases {
+		if got := verdictHard(tc.old, tc.new); got != tc.want {
+			t.Errorf("%s: verdictHard(%d, %d) = %s, want %s", tc.name, tc.old, tc.new, got, tc.want)
+		}
+	}
+}
+
+func TestVerdictSoftTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new float64
+		tol      float64
+		want     Verdict
+	}{
+		{"equal-is-within", 1.0, 1.0, 0.25, VerdictWithin},
+		{"just-inside-upper-band", 1.0, 1.24, 0.25, VerdictWithin},
+		{"just-inside-lower-band", 1.0, 0.76, 0.25, VerdictWithin},
+		{"above-band-regresses", 1.0, 1.3, 0.25, VerdictRegression},
+		{"doubling-regresses", 2.0, 4.0, 0.25, VerdictRegression},
+		{"below-band-improves", 1.0, 0.5, 0.25, VerdictImprovement},
+		{"tight-tolerance", 100, 102, 0.01, VerdictRegression},
+		{"zero-baseline-degrades-to-within", 0, 5, 0.25, VerdictWithin},
+		{"negative-baseline-degrades-to-within", -1, 5, 0.25, VerdictWithin},
+		{"below-absolute-floor-never-gates", 0.001, 0.009, 0.25, VerdictWithin},
+		{"floor-does-not-mask-real-changes", 0.1, 0.2, 0.25, VerdictRegression},
+	}
+	for _, tc := range cases {
+		if got := verdictSoft(tc.old, tc.new, tc.tol, 0.01); got != tc.want {
+			t.Errorf("%s: verdictSoft(%g, %g, %g) = %s, want %s", tc.name, tc.old, tc.new, tc.tol, got, tc.want)
+		}
+	}
+}
+
+// compareInputs builds a baseline/candidate pair exercising every verdict:
+// hard improvement, hard within, hard regression, soft regression, soft
+// within, a missing metric, a missing fixture, a fingerprint mismatch, and
+// a candidate-only fixture.
+func compareInputs() (*File, *File) {
+	baseline := &File{
+		Schema: SchemaVersion, Date: "2026-08-08", Seed: 5,
+		Fixtures: []Fixture{
+			{
+				Name: "smoke_b4_dp", Fingerprint: Fingerprint(0x1111), Reps: 3,
+				Hard: []Counter{{Name: "nodes", Value: 2023}, {Name: "lp_iters", Value: 37123}, {Name: "warm_fallbacks", Value: 203}},
+				Soft: []Value{{Name: "seconds_per_op", Value: 3.0}, {Name: "allocs_per_op", Value: 1000}},
+				Histograms: []Histogram{
+					{Name: "lp_phase2_seconds", Count: 2226, Sum: 2.5, Buckets: []uint64{0, 2226}},
+				},
+			},
+			{
+				Name: "warm_on", Fingerprint: Fingerprint(0x2222), Reps: 3,
+				Hard: []Counter{{Name: "lp_iters", Value: 1705}, {Name: "vanishing_metric", Value: 7}},
+			},
+			{Name: "dropped_fixture", Reps: 1, Hard: []Counter{{Name: "nodes", Value: 64}}},
+			{Name: "reshaped_fixture", Fingerprint: Fingerprint(0x3333), Reps: 1,
+				Hard: []Counter{{Name: "nodes", Value: 10}}},
+		},
+	}
+	candidate := &File{
+		Schema: SchemaVersion, Date: "2026-08-09", Seed: 5,
+		Fixtures: []Fixture{
+			{
+				Name: "smoke_b4_dp", Fingerprint: Fingerprint(0x1111), Reps: 3,
+				Hard: []Counter{{Name: "nodes", Value: 2023}, {Name: "lp_iters", Value: 36000}, {Name: "warm_fallbacks", Value: 251}},
+				Soft: []Value{{Name: "seconds_per_op", Value: 4.5}, {Name: "allocs_per_op", Value: 1100}},
+				Histograms: []Histogram{
+					{Name: "lp_phase2_seconds", Count: 2226, Sum: 2.6, Buckets: []uint64{0, 2226}},
+				},
+			},
+			{
+				Name: "warm_on", Fingerprint: Fingerprint(0x2222), Reps: 3,
+				Hard: []Counter{{Name: "lp_iters", Value: 1705}},
+			},
+			{Name: "reshaped_fixture", Fingerprint: Fingerprint(0x4444), Reps: 1,
+				Hard: []Counter{{Name: "nodes", Value: 3}}},
+			{Name: "brand_new_fixture", Reps: 1, Hard: []Counter{{Name: "nodes", Value: 1}}},
+		},
+	}
+	return baseline, candidate
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	baseline, candidate := compareInputs()
+	rep, err := Compare(baseline, candidate, Options{SoftTolerance: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdictOf := func(fixture, metric string) Verdict {
+		for _, d := range rep.Deltas {
+			if d.Fixture == fixture && d.Metric == metric {
+				return d.Verdict
+			}
+		}
+		t.Fatalf("no delta for %s/%s", fixture, metric)
+		return ""
+	}
+	checks := []struct {
+		fixture, metric string
+		want            Verdict
+	}{
+		{"smoke_b4_dp", "nodes", VerdictWithin},
+		{"smoke_b4_dp", "lp_iters", VerdictImprovement},
+		{"smoke_b4_dp", "warm_fallbacks", VerdictRegression},
+		{"smoke_b4_dp", "seconds_per_op", VerdictRegression}, // 3.0 -> 4.5 is +50%, over ±25%
+		{"smoke_b4_dp", "allocs_per_op", VerdictWithin},      // +10% inside the band
+		{"smoke_b4_dp", "lp_phase2_seconds_count", VerdictWithin},
+		{"smoke_b4_dp", "lp_phase2_seconds_sum", VerdictWithin},
+		{"warm_on", "lp_iters", VerdictWithin},
+		{"warm_on", "vanishing_metric", VerdictMissing},
+		{"dropped_fixture", "(fixture)", VerdictMissing},
+		{"reshaped_fixture", "fingerprint", VerdictMissing},
+	}
+	for _, c := range checks {
+		if got := verdictOf(c.fixture, c.metric); got != c.want {
+			t.Errorf("%s/%s: verdict %s, want %s", c.fixture, c.metric, got, c.want)
+		}
+	}
+	// A fingerprint mismatch must suppress per-counter comparison: the
+	// reshaped fixture's nodes counter (10 -> 3) would read as an
+	// improvement, but the trees are not comparable.
+	for _, d := range rep.Deltas {
+		if d.Fixture == "reshaped_fixture" && d.Metric == "nodes" {
+			t.Errorf("fingerprint mismatch did not suppress counter diffs: %+v", d)
+		}
+	}
+	hard := rep.HardFailures()
+	// warm_fallbacks regression + vanishing_metric + dropped fixture +
+	// fingerprint mismatch = 4 gate failures.
+	if len(hard) != 4 {
+		t.Fatalf("HardFailures = %d (%+v), want 4", len(hard), hard)
+	}
+	if soft := rep.SoftRegressions(); len(soft) != 1 || soft[0].Metric != "seconds_per_op" {
+		t.Fatalf("SoftRegressions = %+v, want just seconds_per_op", soft)
+	}
+	if len(rep.NewFixtures) != 1 || rep.NewFixtures[0] != "brand_new_fixture" {
+		t.Fatalf("NewFixtures = %v", rep.NewFixtures)
+	}
+}
+
+// TestCompareIdentityIsClean pins the acceptance criterion: comparing a
+// ledger against itself yields no failures of any kind.
+func TestCompareIdentityIsClean(t *testing.T) {
+	b1, err := Encode(sampleFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := Decode(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Decode(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Compare(f1, f2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.HardFailures()); n != 0 {
+		t.Fatalf("self-comparison produced %d hard failures: %+v", n, rep.HardFailures())
+	}
+	if n := len(rep.SoftRegressions()); n != 0 {
+		t.Fatalf("self-comparison produced %d soft regressions", n)
+	}
+	for _, d := range rep.Deltas {
+		if d.Verdict != VerdictWithin {
+			t.Fatalf("self-comparison delta not within-tolerance: %+v", d)
+		}
+	}
+}
+
+func TestCompareReportGolden(t *testing.T) {
+	baseline, candidate := compareInputs()
+	rep, err := Compare(baseline, candidate, Options{SoftTolerance: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "compare_report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/benchstore -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report drifted from golden:\n--- got\n%s\n--- want\n%s", buf.Bytes(), want)
+	}
+}

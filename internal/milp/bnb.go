@@ -26,6 +26,16 @@ const (
 	boundTol = 1e-7 // pruning slack
 )
 
+// Wave-level time attribution: one bnb_wave_seconds observation per solved
+// wave (the relaxation-solving span only, serial or pooled — the apply step
+// is excluded), plus a running wave count. Observability output only; the
+// explored tree never reads these, which the gapvet:allow walltime
+// annotations at the measurement sites assert.
+var (
+	bnbWaveSeconds = obs.Default.Histogram("bnb_wave_seconds")
+	bnbWavesTotal  = obs.Default.Counter("bnb_waves_total")
+)
+
 // node is a branch-and-bound node: a set of bound overrides plus the bound
 // inherited from its parent's relaxation. The id is a creation-order serial
 // number used as the heap's final tie-break, which makes the pop order a
@@ -162,7 +172,7 @@ func runSearch(m *Model, opts Options, resume *checkpoint.BnBState) (*Result, er
 		}
 	}
 
-	res := &Result{Status: StatusNoIncumbent}
+	res := &Result{Status: StatusNoIncumbent, Fingerprint: fp}
 	incumbent := math.Inf(-1) // in score space (dir * objective)
 	var incumbentX []float64
 	bestBound := math.Inf(1)
@@ -482,6 +492,7 @@ func runSearch(m *Model, opts Options, resume *checkpoint.BnBState) (*Result, er
 		// into the outcome.
 		results := resBuf[:len(wave)]
 		waveNo := waves + 1
+		waveStart := time.Now() //gapvet:allow walltime wave time attribution; observed into an obs histogram, never shapes the tree
 		if workers == 1 || len(wave) == 1 {
 			for i, nd := range wave {
 				results[i] = runNode(waveNo, i, nd, incumbent)
@@ -506,6 +517,8 @@ func runSearch(m *Model, opts Options, resume *checkpoint.BnBState) (*Result, er
 			}
 			wg.Wait()
 		}
+		bnbWaveSeconds.ObserveDuration(time.Since(waveStart)) //gapvet:allow walltime wave time attribution; observed into an obs histogram, never shapes the tree
+		bnbWavesTotal.Inc()
 
 		// Apply results sequentially in wave (= deterministic pop) order.
 		for wi, nd := range wave {

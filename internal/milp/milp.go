@@ -313,6 +313,14 @@ type Result struct {
 	WarmLPSolves    int
 	WarmLPFallbacks int
 	Elapsed         time.Duration
+	// Fingerprint is the search fingerprint: an FNV-1a hash of everything
+	// the explored tree depends on — model shape plus the tree-determining
+	// options (resolved Batch, node order); Workers is deliberately
+	// excluded. It is the same value the checkpoint layer pins snapshots
+	// to, so two Results with equal fingerprints explored comparable trees
+	// and their node/pivot counters may be diffed (the benchmark ledger
+	// keys fixtures by it).
+	Fingerprint uint64
 	// Trace lists every incumbent improvement in time order, closed by a
 	// SourceFinal point when the solve's terminal bound is tighter than the
 	// bound at the last improvement.

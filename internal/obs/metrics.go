@@ -96,11 +96,41 @@ func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
 	return cum, h.count, h.sum
 }
 
+// HistogramBounds returns a copy of the histogram bucket upper bounds in
+// seconds. The final implicit bucket is +Inf, so a histogram snapshot has
+// len(HistogramBounds())+1 cumulative buckets.
+func HistogramBounds() []float64 {
+	out := make([]float64, len(histBounds))
+	copy(out, histBounds[:])
+	return out
+}
+
+// DuplicateMetricError reports a metric name requested under a different
+// kind than the one it was first registered with (e.g. a histogram named
+// "x" after a counter "x" already exists). Same-kind re-registration is not
+// an error: the registry returns the existing instance.
+type DuplicateMetricError struct {
+	Name      string // the colliding metric name
+	Existing  string // kind it was first registered as ("counter", "gauge", "histogram")
+	Requested string // kind of the conflicting request
+}
+
+func (e *DuplicateMetricError) Error() string {
+	return fmt.Sprintf("obs: metric %q already registered as a %s, requested as a %s",
+		e.Name, e.Existing, e.Requested)
+}
+
 // Registry holds named counters, gauges, and timing histograms. Metrics are
 // created lazily on first lookup; lookups are cheap but not free, so hot
 // paths should resolve their metrics once and hold the pointer.
+//
+// Names are unique across kinds: requesting an existing name with the same
+// kind returns the existing instance, while requesting it with a different
+// kind panics with a *DuplicateMetricError — the old behavior of keeping two
+// same-named metrics silently produced shadowed Snapshot/export entries.
 type Registry struct {
 	mu       sync.Mutex
+	kinds    map[string]string // name -> "counter" | "gauge" | "histogram"
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -109,6 +139,7 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
+		kinds:    make(map[string]string),
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
@@ -119,24 +150,37 @@ func NewRegistry() *Registry {
 // metric sinks write here.
 var Default = NewRegistry()
 
-// Counter returns the named counter, creating it if needed.
+// reserve claims name for kind, panicking with a *DuplicateMetricError when
+// the name already belongs to a different kind. Callers hold r.mu.
+func (r *Registry) reserve(name, kind string) {
+	if existing, ok := r.kinds[name]; ok && existing != kind {
+		panic(&DuplicateMetricError{Name: name, Existing: existing, Requested: kind})
+	}
+	r.kinds[name] = kind
+}
+
+// Counter returns the named counter, creating it if needed. Requesting a
+// name held by a gauge or histogram panics with a *DuplicateMetricError.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
+		r.reserve(name, "counter")
 		c = &Counter{}
 		r.counters[name] = c
 	}
 	return c
 }
 
-// Gauge returns the named gauge, creating it if needed.
+// Gauge returns the named gauge, creating it if needed. Requesting a name
+// held by a counter or histogram panics with a *DuplicateMetricError.
 func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
+		r.reserve(name, "gauge")
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -144,11 +188,14 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named timing histogram, creating it if needed.
+// Requesting a name held by a counter or gauge panics with a
+// *DuplicateMetricError.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
+		r.reserve(name, "histogram")
 		h = &Histogram{}
 		r.hists[name] = h
 	}
@@ -186,6 +233,74 @@ func (r *Registry) Snapshot() map[string]float64 {
 		out[name+"_sum"] = sum
 	}
 	return out
+}
+
+// CounterValue is one counter in an Export, sorted by name.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// GaugeValue is one gauge in an Export, sorted by name.
+type GaugeValue struct {
+	Name  string
+	Value float64
+}
+
+// HistogramValue is one histogram in an Export: cumulative bucket counts in
+// HistogramBounds order (the final entry is the +Inf bucket), the
+// observation count, and the sum of observed seconds.
+type HistogramValue struct {
+	Name    string
+	Count   uint64
+	Sum     float64
+	Buckets []uint64
+}
+
+// Export is a point-in-time, deterministically ordered copy of a registry:
+// every slice is sorted by metric name, so two exports of identical state
+// are deeply equal and serialize byte-identically. Unlike Snapshot, it
+// keeps kinds separate and carries full histogram bucket vectors — this is
+// the form the benchmark ledger (internal/benchstore) persists.
+type Export struct {
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Histograms []HistogramValue
+}
+
+// Export captures the registry's current state in deterministic (sorted)
+// order.
+func (r *Registry) Export() Export {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var ex Export
+	for name, c := range counters {
+		ex.Counters = append(ex.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range gauges {
+		ex.Gauges = append(ex.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range hists {
+		cum, count, sum := h.snapshot()
+		ex.Histograms = append(ex.Histograms, HistogramValue{Name: name, Count: count, Sum: sum, Buckets: cum})
+	}
+	sort.Slice(ex.Counters, func(i, j int) bool { return ex.Counters[i].Name < ex.Counters[j].Name })
+	sort.Slice(ex.Gauges, func(i, j int) bool { return ex.Gauges[i].Name < ex.Gauges[j].Name })
+	sort.Slice(ex.Histograms, func(i, j int) bool { return ex.Histograms[i].Name < ex.Histograms[j].Name })
+	return ex
 }
 
 // WriteProm writes the registry in the Prometheus text exposition format,

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Same-kind re-registration must hand back the existing instance, never a
+// fresh shadow: counters resolved at two different call sites must observe
+// each other's increments.
+func TestRegistrySameKindReturnsExistingInstance(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c2 := r.Counter("x_total")
+	if c1 != c2 {
+		t.Fatalf("Counter(%q) twice returned distinct instances", "x_total")
+	}
+	c1.Add(3)
+	if got := c2.Value(); got != 3 {
+		t.Fatalf("second handle sees %d, want 3", got)
+	}
+	if g1, g2 := r.Gauge("g"), r.Gauge("g"); g1 != g2 {
+		t.Fatalf("Gauge(%q) twice returned distinct instances", "g")
+	}
+	if h1, h2 := r.Histogram("h_seconds"), r.Histogram("h_seconds"); h1 != h2 {
+		t.Fatalf("Histogram(%q) twice returned distinct instances", "h_seconds")
+	}
+}
+
+// Cross-kind collisions used to register both metrics and let Snapshot
+// silently shadow one with the other. They now fail loudly with a typed
+// error so the misregistration is caught at the call site.
+func TestRegistryCrossKindCollisionPanicsTyped(t *testing.T) {
+	cases := []struct {
+		name     string
+		first    func(r *Registry)
+		second   func(r *Registry)
+		existing string
+		wanted   string
+	}{
+		{"counter-then-gauge", func(r *Registry) { r.Counter("m") }, func(r *Registry) { r.Gauge("m") }, "counter", "gauge"},
+		{"counter-then-histogram", func(r *Registry) { r.Counter("m") }, func(r *Registry) { r.Histogram("m") }, "counter", "histogram"},
+		{"gauge-then-counter", func(r *Registry) { r.Gauge("m") }, func(r *Registry) { r.Counter("m") }, "gauge", "counter"},
+		{"histogram-then-gauge", func(r *Registry) { r.Histogram("m") }, func(r *Registry) { r.Gauge("m") }, "histogram", "gauge"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.first(r)
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					t.Fatalf("second registration of %q as %s did not panic", "m", tc.wanted)
+				}
+				err, ok := rec.(error)
+				if !ok {
+					t.Fatalf("panic value %v (%T) is not an error", rec, rec)
+				}
+				var dup *DuplicateMetricError
+				if !errors.As(err, &dup) {
+					t.Fatalf("panic error %v is not a *DuplicateMetricError", err)
+				}
+				if dup.Name != "m" || dup.Existing != tc.existing || dup.Requested != tc.wanted {
+					t.Fatalf("DuplicateMetricError = %+v, want {m %s %s}", dup, tc.existing, tc.wanted)
+				}
+				if !strings.Contains(dup.Error(), "m") {
+					t.Fatalf("error text %q does not name the metric", dup.Error())
+				}
+			}()
+			tc.second(r)
+		})
+	}
+}
+
+// Export must be deterministically ordered — sorted by name within each
+// kind — and two exports of identical state must be deeply equal, because
+// benchstore serializes this structure verbatim into BENCH_*.json.
+func TestExportSortedAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register in deliberately unsorted order.
+	for _, name := range []string{"z_total", "a_total", "m_total", "k_total"} {
+		r.Counter(name).Add(int64(len(name)))
+	}
+	r.Gauge("zz").Set(2.5)
+	r.Gauge("aa").Set(-1)
+	r.Histogram("t2_seconds").Observe(0.02)
+	r.Histogram("t1_seconds").Observe(0.5)
+	r.Histogram("t1_seconds").Observe(3)
+
+	ex := r.Export()
+	if !sort.SliceIsSorted(ex.Counters, func(i, j int) bool { return ex.Counters[i].Name < ex.Counters[j].Name }) {
+		t.Fatalf("counters not sorted by name: %+v", ex.Counters)
+	}
+	if !sort.SliceIsSorted(ex.Gauges, func(i, j int) bool { return ex.Gauges[i].Name < ex.Gauges[j].Name }) {
+		t.Fatalf("gauges not sorted by name: %+v", ex.Gauges)
+	}
+	if !sort.SliceIsSorted(ex.Histograms, func(i, j int) bool { return ex.Histograms[i].Name < ex.Histograms[j].Name }) {
+		t.Fatalf("histograms not sorted by name: %+v", ex.Histograms)
+	}
+	if got := len(ex.Histograms[0].Buckets); got != len(HistogramBounds())+1 {
+		t.Fatalf("histogram has %d buckets, want %d (+Inf included)", got, len(HistogramBounds())+1)
+	}
+	if ex.Histograms[0].Name != "t1_seconds" || ex.Histograms[0].Count != 2 {
+		t.Fatalf("unexpected first histogram: %+v", ex.Histograms[0])
+	}
+	// Cumulative convention: the +Inf bucket equals the total count.
+	for _, h := range ex.Histograms {
+		if last := h.Buckets[len(h.Buckets)-1]; last != h.Count {
+			t.Fatalf("histogram %s: +Inf bucket %d != count %d", h.Name, last, h.Count)
+		}
+	}
+	if !reflect.DeepEqual(ex, r.Export()) {
+		t.Fatal("two exports of identical registry state differ")
+	}
+}
+
+// The Prometheus text dump — the registry's other snapshot form — must list
+// metric names in sorted order for stable diffing.
+func TestWritePromSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta_total").Inc()
+	r.Counter("alpha_total").Inc()
+	r.Gauge("beta").Set(1)
+	r.Histogram("delta_seconds").Observe(0.1)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	order := []string{"alpha_total", "zeta_total", "beta", "delta_seconds"}
+	last := -1
+	for _, name := range order {
+		idx := strings.Index(out, "# TYPE "+name)
+		if idx < 0 {
+			t.Fatalf("metric %s missing from prom dump", name)
+		}
+		if idx < last {
+			t.Fatalf("metric %s out of order in prom dump:\n%s", name, out)
+		}
+		last = idx
+	}
+}
+
+func TestHistogramBoundsIsACopy(t *testing.T) {
+	b := HistogramBounds()
+	if len(b) == 0 {
+		t.Fatal("no bounds")
+	}
+	orig := b[0]
+	b[0] = -42
+	if got := HistogramBounds()[0]; got != orig {
+		t.Fatalf("mutating the returned slice changed package state: %v", got)
+	}
+}

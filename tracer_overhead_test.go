@@ -1,0 +1,58 @@
+package metaopt
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/milp"
+	"repro/internal/obs"
+)
+
+// tracerOverheadBudget bounds how much the full observability stack (JSONL
+// event stream + metrics sink, the same stack the CLIs attach) may slow a
+// solve relative to a nil tracer. The budget is deliberately loose — 3x —
+// because the reference solve is the tiny figure-1 problem, where per-event
+// costs are at their least amortized; in the meta-problem benches the
+// measured overhead is a few percent. The point of the test is to catch a
+// qualitative regression (an accidental sync write, an allocation per
+// event), not to police single-digit percentages.
+const tracerOverheadBudget = 3.0
+
+// TestTracerOverheadBudget pins the documented overhead multiplier between
+// BenchmarkBnBTracerDisabled and BenchmarkBnBTracerFull. It reuses the same
+// runAblation harness through testing.Benchmark, takes the best of several
+// trials per variant to shave scheduler noise, and fails only when the full
+// stack exceeds the budget.
+func TestTracerOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock ratio test; skipped under -short")
+	}
+
+	best := func(bench func(b *testing.B)) float64 {
+		min := 0.0
+		for trial := 0; trial < 3; trial++ {
+			r := testing.Benchmark(bench)
+			ns := float64(r.NsPerOp())
+			if min == 0 || ns < min {
+				min = ns
+			}
+		}
+		return min
+	}
+
+	base := best(func(b *testing.B) {
+		runAblation(b, figure1Problem(), milp.Options{Tracer: nil})
+	})
+	full := best(func(b *testing.B) {
+		tr := obs.NewTracer(obs.NewJSONLWriter(io.Discard), obs.NewMetricsSink(obs.NewRegistry()))
+		runAblation(b, figure1Problem(), milp.Options{Tracer: tr})
+	})
+	if base <= 0 {
+		t.Fatalf("degenerate baseline timing: %v ns/op", base)
+	}
+	ratio := full / base
+	t.Logf("tracer overhead: nil=%.0f ns/op, full=%.0f ns/op, ratio=%.2fx (budget %.1fx)", base, full, ratio, tracerOverheadBudget)
+	if ratio > tracerOverheadBudget {
+		t.Fatalf("full tracer stack is %.2fx the nil-tracer solve, budget is %.1fx: tracing is no longer cheap enough to leave on", ratio, tracerOverheadBudget)
+	}
+}
