@@ -3,6 +3,8 @@ package lp
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
+	"errors"
 	"testing"
 )
 
@@ -66,6 +68,128 @@ func TestUnmarshalBasisRejectsCorruption(t *testing.T) {
 	}
 	if _, err := UnmarshalBasis(append(append([]byte(nil), data...), 0)); err == nil {
 		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestUnmarshalBasisLegacyFormat hand-builds a blob in the original
+// versionless wire format (raw signature, uvarint count, delta columns) and
+// checks it still decodes — checkpoints written before the codec was
+// versioned must keep resuming. Provenance of a legacy blob is unknown, so
+// it decodes as EngineAuto.
+func TestUnmarshalBasisLegacyFormat(t *testing.T) {
+	want := basisFixture(t)
+	legacy := binary.LittleEndian.AppendUint64(nil, want.sig)
+	legacy = binary.AppendUvarint(legacy, uint64(len(want.cols)))
+	prev := int32(0)
+	for _, c := range want.cols {
+		legacy = binary.AppendUvarint(legacy, uint64(c-prev))
+		prev = c
+	}
+	got, err := UnmarshalBasis(legacy)
+	if err != nil {
+		t.Fatalf("legacy blob rejected: %v", err)
+	}
+	if got.sig != want.sig || len(got.cols) != len(want.cols) {
+		t.Fatalf("legacy decode lost data: %+v vs %+v", got, want)
+	}
+	for i := range want.cols {
+		if got.cols[i] != want.cols[i] {
+			t.Fatalf("cols[%d] = %d, want %d", i, got.cols[i], want.cols[i])
+		}
+	}
+	if got.Engine() != EngineAuto {
+		t.Fatalf("legacy blob engine = %v, want EngineAuto (unknown)", got.Engine())
+	}
+}
+
+// TestUnmarshalBasisVersionError checks that a blob from a future codec
+// version fails loudly with the typed error rather than being misparsed.
+func TestUnmarshalBasisVersionError(t *testing.T) {
+	data, err := basisFixture(t).MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	data[4] = basisVersion + 1
+	_, err = UnmarshalBasis(data)
+	var verr *BasisVersionError
+	if !errors.As(err, &verr) {
+		t.Fatalf("future version decoded with err=%v, want *BasisVersionError", err)
+	}
+	if verr.Version != basisVersion+1 {
+		t.Fatalf("version in error = %d, want %d", verr.Version, basisVersion+1)
+	}
+	if verr.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+// TestUnmarshalBasisRejectsBadEngineTag: the engine byte is validated so a
+// corrupted header cannot smuggle an impossible provenance through.
+func TestUnmarshalBasisRejectsBadEngineTag(t *testing.T) {
+	data, err := basisFixture(t).MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	data[5] = 0xEE
+	if _, err := UnmarshalBasis(data); err == nil {
+		t.Fatal("bad engine tag accepted")
+	}
+}
+
+// TestBasisCrossEngineRoundTrip captures a basis under each engine, pushes
+// it through the wire codec, and reinstalls it as a warm start into the
+// *other* engine. Both engines share one standard-form layout, so the warm
+// start must actually take (Warm=true, no fallback) and reproduce the
+// optimal objective in either direction.
+func TestBasisCrossEngineRoundTrip(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem("cross-engine", Maximize)
+		x := p.AddVar("x", 0, 9)
+		y := p.AddVar("y", 0, 9)
+		z := p.AddVar("z", 0, 9)
+		p.SetObj(x, 3)
+		p.SetObj(y, 5)
+		p.SetObj(z, 4)
+		p.AddConstraint("c1", NewExpr().Add(x, 2).Add(y, 3), LE, 12)
+		p.AddConstraint("c2", NewExpr().Add(y, 2).Add(z, 5), LE, 10)
+		p.AddConstraint("c3", NewExpr().Add(x, 3).Add(y, 2).Add(z, 4), LE, 15)
+		return p
+	}
+	engines := []Engine{EngineDense, EngineSparse}
+	for _, capture := range engines {
+		for _, reinstall := range engines {
+			p := build()
+			capt, err := p.SolveWith(SolveOptions{Engine: capture, CaptureBasis: true})
+			if err != nil || capt.Status != StatusOptimal || capt.Basis == nil {
+				t.Fatalf("capture under %v: %v %v", capture, err, capt.Status)
+			}
+			if capt.Basis.Engine() != capture {
+				t.Fatalf("captured basis engine = %v, want %v", capt.Basis.Engine(), capture)
+			}
+			blob, err := capt.Basis.MarshalBinary()
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			wire, err := UnmarshalBasis(blob)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if wire.Engine() != capture {
+				t.Fatalf("wire engine = %v, want %v", wire.Engine(), capture)
+			}
+			warm, err := p.SolveWith(SolveOptions{Engine: reinstall, WarmStart: wire})
+			if err != nil {
+				t.Fatalf("%v basis into %v engine: %v", capture, reinstall, err)
+			}
+			if warm.Status != StatusOptimal || !warm.Warm || warm.WarmFallback {
+				t.Fatalf("%v basis into %v engine: status=%v warm=%v fallback=%v",
+					capture, reinstall, warm.Status, warm.Warm, warm.WarmFallback)
+			}
+			if diff := warm.Objective - capt.Objective; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%v basis into %v engine: objective %v, want %v",
+					capture, reinstall, warm.Objective, capt.Objective)
+			}
+		}
 	}
 }
 

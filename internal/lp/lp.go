@@ -288,6 +288,20 @@ type Solution struct {
 	// singular basis, lost dual feasibility, or a repair that failed to
 	// converge). The result is then exactly the cold solve's.
 	WarmFallback bool
+	// EngineUsed is the engine that produced this solution after resolving
+	// EngineAuto and any sparse-to-dense fallback.
+	EngineUsed Engine
+	// SparseFallback reports that the sparse engine was requested but an
+	// internal numerical failure (singular refactorization the eta file
+	// could not absorb) handed the solve to the dense engine. The result is
+	// then exactly the dense solve's.
+	SparseFallback bool
+	// PresolveRows and PresolveCols count the constraint rows and variable
+	// columns eliminated by the presolve pass (zero when SolveOptions.
+	// Presolve was off or nothing reduced). X and Dual are always reported
+	// in the original problem's spaces regardless.
+	PresolveRows int
+	PresolveCols int
 }
 
 // String renders the solution compactly for debugging.
@@ -333,6 +347,28 @@ type SolveOptions struct {
 	// here: node relaxations run on concurrent workers, so milp emits its
 	// LP events on the coordinator in deterministic apply order instead.
 	Tracer *obs.Tracer
+	// Engine selects the simplex implementation. EngineAuto (the zero
+	// value) resolves to the process default — the dense tableau unless
+	// SetDefaultEngine or REPRO_LP_ENGINE says otherwise. Both engines
+	// return identical answers; see Engine.
+	Engine Engine
+	// Pricing selects the sparse engine's entering-column rule; the dense
+	// engine ignores it. PricingAuto/PricingDantzig reproduce the dense
+	// pivot sequence; PricingDevex trades that parity for fewer pivots.
+	Pricing Pricing
+	// Presolve runs the Andersen-style reduction pass (empty/singleton row
+	// elimination, fixed and empty column removal, redundant-row removal,
+	// singleton-row bound tightening) before the simplex and maps the
+	// answer back to the original spaces afterwards. Off by default. A
+	// presolved solve returns the same status and objective as an
+	// unpresolved one and duals that certify it (DualObjective), but on a
+	// degenerate optimal face it may legitimately report a different
+	// optimal vertex — so the warm-start transplant and the canonical
+	// cold==warm vertex contract apply within a fixed Presolve setting,
+	// not across them. When a WarmStart basis is supplied, Presolve is
+	// skipped for that solve: the snapshot is pinned to the unreduced
+	// standard form, and warm continuity is worth more than the reduction.
+	Presolve bool
 }
 
 // Solve solves the problem with default options.

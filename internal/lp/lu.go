@@ -1,0 +1,299 @@
+package lp
+
+// Sparse basis factorization for the revised simplex engine: a CSC view of
+// the standard-form constraint matrix, an LU factorization of the basis with
+// partial pivoting, and a product-form eta file absorbing basis changes
+// between periodic refactorizations.
+//
+// Index spaces, fixed once and used everywhere in sparse.go:
+//
+//   - "row space": original standard-form rows 0..m-1. Right-hand sides and
+//     dual vectors (BTRAN output) live here.
+//   - "position space": basis positions 0..m-1, which the sparse engine pins
+//     to dense tableau rows — position i holds basic column basis[i], exactly
+//     the dense invariant. Basic values xB, FTRAN output, and eta updates
+//     live here.
+//
+// FTRAN solves B·z = v (v in row space, z in position space); BTRAN solves
+// Bᵀ·y = c (c in position space, y in row space). The LU factors columns in
+// position order, so elimination step k handles position k; perm[k] is the
+// pivot row it chose.
+
+// cscMatrix is a compressed-sparse-column view of stdForm.a. It is built
+// once per solve from the dense rows and never mutated — the revised
+// simplex works off B⁻¹ products instead of transforming A in place, which
+// is the whole point of the engine.
+type cscMatrix struct {
+	m, n   int
+	colPtr []int32 // n+1 offsets into rowIdx/val
+	rowIdx []int32
+	val    []float64
+}
+
+// buildCSC compresses the standard form's dense rows. Sharing the exact
+// float values with the dense tableau's pristine matrix is deliberate: both
+// engines then price and ratio-test the same numbers.
+func buildCSC(s *stdForm) *cscMatrix {
+	c := &cscMatrix{m: s.m, n: s.n}
+	nnz := 0
+	for i := 0; i < s.m; i++ {
+		row := s.a[i]
+		for j := 0; j < s.n; j++ {
+			if row[j] != 0 {
+				nnz++
+			}
+		}
+	}
+	c.colPtr = make([]int32, s.n+1)
+	c.rowIdx = make([]int32, 0, nnz)
+	c.val = make([]float64, 0, nnz)
+	for j := 0; j < s.n; j++ {
+		c.colPtr[j] = int32(len(c.rowIdx))
+		for i := 0; i < s.m; i++ {
+			if v := s.a[i][j]; v != 0 {
+				c.rowIdx = append(c.rowIdx, int32(i))
+				c.val = append(c.val, v)
+			}
+		}
+	}
+	c.colPtr[s.n] = int32(len(c.rowIdx))
+	return c
+}
+
+// scatter adds column j into the dense row-space vector x.
+func (c *cscMatrix) scatter(j int, x []float64) {
+	for k := c.colPtr[j]; k < c.colPtr[j+1]; k++ {
+		x[c.rowIdx[k]] += c.val[k]
+	}
+}
+
+// dot returns ρᵀA_j for a dense row-space vector ρ.
+func (c *cscMatrix) dot(j int, rho []float64) float64 {
+	s := 0.0
+	for k := c.colPtr[j]; k < c.colPtr[j+1]; k++ {
+		s += rho[c.rowIdx[k]] * c.val[k]
+	}
+	return s
+}
+
+// eta is one product-form basis update: after the pivot (pr, pc) with
+// entering representation d = B_old⁻¹·A_pc, the new inverse is E·B_old⁻¹
+// with E = I + (e_pr − d)·(1/d_pr)·e_prᵀ. FTRAN applies etas oldest-first
+// after the LU solve; BTRAN applies Eᵀ newest-first before it.
+type eta struct {
+	pr     int32
+	invPiv float64 // 1/d[pr]
+	idx    []int32 // positions i != pr with d[i] != 0
+	val    []float64
+}
+
+// luFactor is a sparse LU factorization of the basis matrix with partial
+// pivoting, columns processed in position order. L is stored by column with
+// original-row indices (the rows were unpivoted when the column was
+// eliminated); U is stored by column with elimination-position indices.
+type luFactor struct {
+	m    int
+	perm []int32 // elimination step k -> pivot row p_k
+	lptr []int32 // m+1 offsets into lrow/lval
+	lrow []int32
+	lval []float64
+	uptr []int32 // m+1 offsets into upos/uval (strictly above diagonal)
+	upos []int32
+	uval []float64
+	udia []float64
+
+	etas []eta
+
+	// scratch, row-space sized
+	work    []float64
+	touched []int32
+}
+
+// factorize builds the LU of the basis columns cols (position order) from a.
+// Pivot selection scans unpivoted rows in ascending order keeping a strict
+// maximum with a pivotTol floor — in exact arithmetic the transformed
+// entries are the same Schur-complement values the dense install() sees, so
+// the row pairing (and hence every downstream tie-break on basis[i]) agrees
+// with the dense engine. Returns false when the column set is singular or
+// numerically unusable.
+func (lu *luFactor) factorize(a *cscMatrix, cols []int) bool {
+	m := a.m
+	lu.m = m
+	lu.perm = lu.perm[:0]
+	lu.lptr = append(lu.lptr[:0], 0)
+	lu.lrow = lu.lrow[:0]
+	lu.lval = lu.lval[:0]
+	lu.uptr = append(lu.uptr[:0], 0)
+	lu.upos = lu.upos[:0]
+	lu.uval = lu.uval[:0]
+	lu.udia = lu.udia[:0]
+	lu.etas = lu.etas[:0]
+	if len(cols) != m {
+		return false
+	}
+	if cap(lu.work) < m {
+		lu.work = make([]float64, m)
+		lu.touched = make([]int32, 0, m)
+	}
+	x := lu.work[:m]
+	for i := range x {
+		x[i] = 0
+	}
+	pivoted := make([]bool, m)
+	for k := 0; k < m; k++ {
+		j := cols[k]
+		if j < 0 || j >= a.n {
+			return false
+		}
+		a.scatter(j, x)
+		// Left-looking elimination: apply the L columns of earlier steps in
+		// order; skipping exact zeros is what keeps this sparse.
+		for kk := 0; kk < k; kk++ {
+			t := x[lu.perm[kk]]
+			if t == 0 {
+				continue
+			}
+			for q := lu.lptr[kk]; q < lu.lptr[kk+1]; q++ {
+				x[lu.lrow[q]] -= t * lu.lval[q]
+			}
+		}
+		// Partial pivoting over unpivoted rows: ascending scan, strict
+		// maximum, pivotTol floor (mirrors dense install()).
+		best, bestAbs := -1, pivotTol
+		for i := 0; i < m; i++ {
+			if pivoted[i] {
+				continue
+			}
+			ab := x[i]
+			if ab < 0 {
+				ab = -ab
+			}
+			if ab > bestAbs {
+				best, bestAbs = i, ab
+			}
+		}
+		if best == -1 {
+			return false
+		}
+		piv := x[best]
+		// Harvest U (entries at already-pivoted rows) and L (unpivoted rows
+		// scaled by the pivot), clearing x as we go.
+		for kk := 0; kk < k; kk++ {
+			p := lu.perm[kk]
+			if v := x[p]; v != 0 {
+				lu.upos = append(lu.upos, int32(kk))
+				lu.uval = append(lu.uval, v)
+				x[p] = 0
+			}
+		}
+		for i := 0; i < m; i++ {
+			if x[i] == 0 || i == best {
+				continue
+			}
+			lu.lrow = append(lu.lrow, int32(i))
+			lu.lval = append(lu.lval, x[i]/piv)
+			x[i] = 0
+		}
+		x[best] = 0
+		pivoted[best] = true
+		lu.perm = append(lu.perm, int32(best))
+		lu.udia = append(lu.udia, piv)
+		lu.lptr = append(lu.lptr, int32(len(lu.lrow)))
+		lu.uptr = append(lu.uptr, int32(len(lu.upos)))
+	}
+	return true
+}
+
+// ftran solves B·z = v. v is row-space input, z position-space output; the
+// two may alias distinct buffers of the caller. v is left zeroed.
+func (lu *luFactor) ftran(v, z []float64) {
+	m := lu.m
+	// Forward: y_k = v[p_k] after applying earlier L columns.
+	for k := 0; k < m; k++ {
+		t := v[lu.perm[k]]
+		z[k] = t
+		if t == 0 {
+			continue
+		}
+		for q := lu.lptr[k]; q < lu.lptr[k+1]; q++ {
+			v[lu.lrow[q]] -= t * lu.lval[q]
+		}
+	}
+	for k := 0; k < m; k++ {
+		v[lu.perm[k]] = 0
+	}
+	// Backward: solve U·z = y, column-oriented.
+	for k := m - 1; k >= 0; k-- {
+		zk := z[k] / lu.udia[k]
+		z[k] = zk
+		if zk == 0 {
+			continue
+		}
+		for q := lu.uptr[k]; q < lu.uptr[k+1]; q++ {
+			z[lu.upos[q]] -= zk * lu.uval[q]
+		}
+	}
+	// Product-form updates, oldest first.
+	for e := range lu.etas {
+		et := &lu.etas[e]
+		t := z[et.pr] * et.invPiv
+		z[et.pr] = t
+		if t == 0 {
+			continue
+		}
+		for q, i := range et.idx {
+			z[i] -= et.val[q] * t
+		}
+	}
+}
+
+// btran solves Bᵀ·y = c. c is position-space input (consumed: left zeroed),
+// y row-space output.
+func (lu *luFactor) btran(c, y []float64) {
+	m := lu.m
+	// Eta transposes, newest first: (Eᵀv)[pr] = (v[pr] − Σ d_i·v_i)/d_pr.
+	for e := len(lu.etas) - 1; e >= 0; e-- {
+		et := &lu.etas[e]
+		dot := 0.0
+		for q, i := range et.idx {
+			dot += et.val[q] * c[i]
+		}
+		c[et.pr] = (c[et.pr] - dot) * et.invPiv
+	}
+	// Solve Uᵀ·w = c: Uᵀ is lower triangular in position order, U stored by
+	// column, so w_k = (c_k − Σ_{(kk,u)∈U_k} u·w_kk)/udia[k], ascending k.
+	for k := 0; k < m; k++ {
+		w := c[k]
+		for q := lu.uptr[k]; q < lu.uptr[k+1]; q++ {
+			w -= lu.uval[q] * c[lu.upos[q]]
+		}
+		c[k] = w / lu.udia[k]
+	}
+	// Lᵀ backward solve with the permutation scatter fused in: processing
+	// k = m-1..0, v_k = w_k − Σ_{(i,l)∈L_k} l·v_pos(i). Every row in L_k was
+	// unpivoted at step k, so it is the pivot row of some later step whose
+	// result already sits in y — the row-space lookup is the position lookup.
+	for k := m - 1; k >= 0; k-- {
+		v := c[k]
+		for q := lu.lptr[k]; q < lu.lptr[k+1]; q++ {
+			v -= lu.lval[q] * y[lu.lrow[q]]
+		}
+		y[lu.perm[k]] = v
+	}
+	for k := 0; k < m; k++ {
+		c[k] = 0
+	}
+}
+
+// appendEta absorbs the pivot (position pr, entering representation d) into
+// the eta file. d is position-space and not retained.
+func (lu *luFactor) appendEta(pr int, d []float64) {
+	et := eta{pr: int32(pr), invPiv: 1 / d[pr]}
+	for i, v := range d {
+		if v != 0 && i != pr {
+			et.idx = append(et.idx, int32(i))
+			et.val = append(et.val, v)
+		}
+	}
+	lu.etas = append(lu.etas, et)
+}

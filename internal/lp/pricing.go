@@ -1,0 +1,84 @@
+package lp
+
+// Devex pricing for the sparse engine (Forrest–Goldfarb reference-framework
+// approximation of steepest edge). The default Dantzig rule reproduces the
+// dense engine's pivot sequence; devex is the opt-in throughput rule for
+// large degenerate LPs: it weighs each reduced cost by an approximate edge
+// norm, so the walk takes fewer, better pivots. Answers are unchanged — the
+// tiebreak phase still lands both engines on the same canonical vertex —
+// only the pivot path (and so the iteration counters) differs.
+
+// devexReset starts a fresh reference framework: every column weight 1.
+// Called whenever the cost vector changes (resetCosts) and whenever the
+// weights have grown past devexResetBound.
+func (sp *sparseSolver) devexReset() {
+	if sp.gamma == nil {
+		sp.gamma = make([]float64, sp.s.n)
+	}
+	for j := range sp.gamma {
+		sp.gamma[j] = 1
+	}
+}
+
+// devexResetBound caps weight growth; beyond it the approximation has
+// drifted too far from the current basis and the framework restarts.
+const devexResetBound = 1e10
+
+// priceDevex selects the entering column maximizing r_j²/γ_j over the
+// negative-reduced-cost candidates, or -1 at optimality. Ascending scan with
+// a strict maximum keeps the choice deterministic.
+func (sp *sparseSolver) priceDevex() int {
+	best, bestScore := -1, 0.0
+	for j := 0; j < sp.s.n; j++ {
+		if sp.inBasis[j] || sp.blocked[j] {
+			continue
+		}
+		r := sp.r[j]
+		if r >= -optTol {
+			continue
+		}
+		if score := r * r / sp.gamma[j]; score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// devexUpdate propagates the reference weights through the pivot (pr, pc),
+// using the pivot row α already computed for the reduced-cost update. Called
+// from pivotApply before the basis swap, so sp.basis[pr] is still the
+// leaving column.
+func (sp *sparseSolver) devexUpdate(pr, pc int, invPiv float64) {
+	if sp.gamma == nil {
+		sp.devexReset()
+	}
+	gq := sp.gamma[pc]
+	if gq < 1 {
+		gq = 1
+	}
+	maxG := 0.0
+	for j := 0; j < sp.s.n; j++ {
+		if j == pc || sp.inBasis[j] || sp.blocked[j] {
+			continue
+		}
+		aj := sp.alpha[j]
+		if aj == 0 {
+			continue
+		}
+		t := aj * invPiv
+		if cand := t * t * gq; cand > sp.gamma[j] {
+			sp.gamma[j] = cand
+		}
+		if sp.gamma[j] > maxG {
+			maxG = sp.gamma[j]
+		}
+	}
+	gl := gq * invPiv * invPiv
+	if gl < 1 {
+		gl = 1
+	}
+	sp.gamma[sp.basis[pr]] = gl
+	if maxG > devexResetBound {
+		sp.devexReset()
+	}
+}

@@ -26,6 +26,13 @@ var (
 	// that did not converge). lp_solves_total covers both kinds.
 	lpWarmSolves    = obs.Default.Counter("lp_warm_solves_total")
 	lpWarmFallbacks = obs.Default.Counter("lp_warm_fallbacks_total")
+	// Engine accounting: lp_sparse_solves_total counts solves answered by
+	// the sparse revised simplex, lp_sparse_fallbacks_total counts solves
+	// where the sparse engine hit an unrecoverable numerical failure and
+	// the dense tableau produced the answer instead. lp_solves_total covers
+	// every engine.
+	lpSparseSolves    = obs.Default.Counter("lp_sparse_solves_total")
+	lpSparseFallbacks = obs.Default.Counter("lp_sparse_fallbacks_total")
 )
 
 // Per-phase attribution: where simplex time and pivots go, not just how
@@ -53,6 +60,18 @@ const (
 	pivotTol = 1e-9 // smallest usable pivot element
 	feasTol  = 1e-7 // feasibility / phase-1 residual tolerance
 	optTol   = 1e-9 // reduced-cost optimality tolerance
+
+	// tieTol is the selection-stability window shared by every pivot-choice
+	// rule (pricing, dual leaving row, dual ratio test): a candidate only
+	// displaces the incumbent when it wins by more than this margin, so the
+	// ascending scan order breaks near-ties by index. Without the window a
+	// tie split by accumulated roundoff (~1e-15) would send the dense and
+	// sparse engines — whose arithmetics round differently — down different
+	// pivot paths on degenerate problems; with it, both engines make
+	// identical choices whenever their computed quantities agree to well
+	// under the window, which is what the pivot-for-pivot differential
+	// gates rely on.
+	tieTol = 1e-7
 )
 
 // errNumerics is returned when the tableau degrades beyond repair.
@@ -76,21 +95,28 @@ const warmDualTol = 1e-7
 // A Basis is immutable after creation and safe to share across goroutines
 // (branch-and-bound hands one parent snapshot to both children).
 type Basis struct {
-	cols []int32 // basic columns, ascending
-	sig  uint64  // structure signature of the originating stdForm
+	cols   []int32 // basic columns, ascending
+	sig    uint64  // structure signature of the originating stdForm
+	engine Engine  // engine that captured the snapshot (provenance only)
 }
 
 // NumBasic reports how many basic columns the snapshot holds (the row count
 // of the standard form it was taken from).
 func (b *Basis) NumBasic() int { return len(b.cols) }
 
-func newBasis(basis []int, sig uint64) *Basis {
+// Engine reports which engine captured the snapshot. Both engines share one
+// standard-form column layout, so a basis reinstalls into either engine
+// regardless of provenance; the tag exists for diagnostics and the
+// versioned wire codec (basisio). EngineAuto means unknown (a legacy blob).
+func (b *Basis) Engine() Engine { return b.engine }
+
+func newBasis(basis []int, sig uint64, eng Engine) *Basis {
 	cols := make([]int32, len(basis))
 	for i, c := range basis {
 		cols[i] = int32(c)
 	}
 	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
-	return &Basis{cols: cols, sig: sig}
+	return &Basis{cols: cols, sig: sig, engine: eng}
 }
 
 // stdForm is the computational form: minimize c'x subject to Ax = b, x >= 0,
@@ -429,7 +455,44 @@ func (p *Problem) SolveWith(opts SolveOptions) (*Solution, error) {
 	return sol, err
 }
 
+// solveWith resolves the engine and presolve knobs and dispatches. The
+// dense tableau is the reference: the sparse engine either reproduces its
+// observable answer or (on an unrecoverable numerical failure) hands the
+// solve to it outright, so callers never see an engine-dependent result.
 func (p *Problem) solveWith(opts SolveOptions) (*Solution, error) {
+	eng := opts.Engine.resolve()
+	if opts.Presolve && opts.WarmStart == nil {
+		return p.solvePresolved(opts, eng)
+	}
+	if eng == EngineSparse {
+		sol, err := p.solveSparse(opts)
+		if err == nil && sol != nil {
+			lpSparseSolves.Inc()
+			sol.EngineUsed = EngineSparse
+			return sol, nil
+		}
+		if err != nil && !errors.Is(err, errNumerics) {
+			return nil, err
+		}
+		lpSparseFallbacks.Inc()
+		sol, err = p.solveDense(opts)
+		if sol != nil {
+			sol.EngineUsed = EngineDense
+			sol.SparseFallback = true
+		}
+		return sol, err
+	}
+	sol, err := p.solveDense(opts)
+	if sol != nil {
+		sol.EngineUsed = EngineDense
+	}
+	return sol, err
+}
+
+// solveDense is the dense tableau path: build the standard form, try the
+// warm transplant when a compatible snapshot is offered, and fall back to
+// the canonical cold two-phase method.
+func (p *Problem) solveDense(opts SolveOptions) (*Solution, error) {
 	s, err := buildStandard(p, opts.BoundOverride)
 	if err != nil {
 		return nil, err
@@ -600,7 +663,33 @@ func (p *Problem) solveCold(s *stdForm, opts SolveOptions) (*Solution, error) {
 	return finishSolution(p, t, st, opts), nil
 }
 
-// finishSolution turns a terminal tableau into a Solution: effort counters
+// termState is the engine-neutral snapshot of a terminal simplex state:
+// everything finishTerm needs to turn "the pivots stopped" into a Solution.
+// The dense tableau produces one via tableau.term (bval aliases the pivoted
+// right-hand side); the sparse engine assembles one from its factorized
+// basis (bval is the basic-value vector xB, r the maintained reduced costs).
+type termState struct {
+	s      *stdForm
+	basis  []int     // basic column per row
+	bval   []float64 // current value of each row's basic variable
+	r      []float64 // phase-2 reduced costs of the terminal basis
+	obj    float64   // phase-2 objective of the terminal basis
+	iters  int
+	phase1 int
+	degen  int
+}
+
+func (t *tableau) term() termState {
+	return termState{s: t.s, basis: t.basis, bval: t.s.b, r: t.r, obj: t.obj,
+		iters: t.iters, phase1: t.phase1, degen: t.degen}
+}
+
+// finishSolution turns a terminal dense tableau into a Solution.
+func finishSolution(p *Problem, t *tableau, st Status, opts SolveOptions) *Solution {
+	return finishTerm(p, t.term(), st, opts, EngineDense)
+}
+
+// finishTerm turns a terminal simplex state into a Solution: effort counters
 // always; primal point, objective, duals and (optionally) the basis snapshot
 // only when the status is optimal, per the Solution contract.
 //
@@ -612,17 +701,28 @@ func (p *Problem) solveCold(s *stdForm, opts SolveOptions) (*Solution, error) {
 // (problem data, overrides) — never of the pivot history — which is what lets
 // branch and bound promise an identical explored tree with warm starting on
 // or off. Duals and the captured basis intentionally come from the terminal
-// tableau instead: its basis is dual feasible (a valid certificate and a
+// state instead: its basis is dual feasible (a valid certificate and a
 // transplantable warm start), at the price of being path-dependent in the
 // last bits. Nothing that steers the search consumes them.
-func finishSolution(p *Problem, t *tableau, st Status, opts SolveOptions) *Solution {
-	sol := t.solution(st)
+//
+// Both engines funnel through this one function, so the answer-defining
+// extraction — support selection, canonical refactorization, variable
+// mapping — is literally shared code: when the two pivot paths stop on the
+// same vertex (the tiebreak phase drives both to the weight-minimal vertex
+// of the optimal face), the reported X and Objective are identical floats.
+func finishTerm(p *Problem, term termState, st Status, opts SolveOptions, eng Engine) *Solution {
+	sol := &Solution{
+		Status:           st,
+		Iterations:       term.iters,
+		Phase1Iterations: term.phase1,
+		DegeneratePivots: term.degen,
+	}
 	if st != StatusOptimal {
 		return sol
 	}
-	s := t.s
+	s := term.s
 
-	// Duals from the terminal tableau: y_i = -(reduced cost of row i's +1
+	// Duals from the terminal state: y_i = -(reduced cost of row i's +1
 	// unit column) in the standardized min problem; map through row flips and
 	// problem sense.
 	sol.Dual = make([]float64, len(p.cons))
@@ -634,7 +734,7 @@ func finishSolution(p *Problem, t *tableau, st Status, opts SolveOptions) *Solut
 			// zero dual is the safe read-off if that ever changes.
 			continue
 		}
-		y := -t.r[col] / s.rowUnitSign[i]
+		y := -term.r[col] / s.rowUnitSign[i]
 		y *= s.rowFlip[i]
 		if s.negate {
 			y = -y
@@ -642,7 +742,7 @@ func finishSolution(p *Problem, t *tableau, st Status, opts SolveOptions) *Solut
 		sol.Dual[i] = y
 	}
 	if opts.CaptureBasis {
-		sol.Basis = newBasis(t.basis, s.sig)
+		sol.Basis = newBasis(term.basis, s.sig, eng)
 	}
 
 	// Support of the terminal vertex: the basic columns carrying genuinely
@@ -650,12 +750,13 @@ func finishSolution(p *Problem, t *tableau, st Status, opts SolveOptions) *Solut
 	// the canonical completion below does not depend on which of a vertex's
 	// many bases the pivot path happened to stop at.
 	var support []int
-	for i, col := range t.basis {
-		if s.b[i] > feasTol {
+	for i, col := range term.basis {
+		if term.bval[i] > feasTol {
 			support = append(support, col)
 		}
 	}
 	sort.Ints(support)
+	basis, bval, obj := term.basis, term.bval, term.obj
 	if s2, err := buildStandard(p, opts.BoundOverride); err == nil {
 		t2 := newTableau(s2, opts)
 		for j := s2.artFrom; j < s2.n; j++ {
@@ -670,17 +771,16 @@ func finishSolution(p *Problem, t *tableau, st Status, opts SolveOptions) *Solut
 					s2.b[i] = 0
 				}
 			}
-			t2.iters, t2.phase1, t2.degen = t.iters, t.phase1, t.degen
-			t, s = t2, s2
+			basis, bval, obj, s = t2.basis, s2.b, t2.obj, s2
 		}
 		// On a (numerically) singular refactorization fall back to the
-		// terminal tableau itself — still correct, merely not canonical.
+		// terminal state itself — still correct, merely not canonical.
 	}
 
 	// Recover the standard-form primal point.
 	xs := make([]float64, s.n)
-	for i, col := range t.basis {
-		xs[col] = s.b[i]
+	for i, col := range basis {
+		xs[col] = bval[i]
 	}
 	// Map back to user variables.
 	sol.X = make([]float64, len(p.vars))
@@ -692,7 +792,7 @@ func finishSolution(p *Problem, t *tableau, st Status, opts SolveOptions) *Solut
 		}
 		sol.X[j] = v
 	}
-	objStd := t.obj + s.objConst
+	objStd := obj + s.objConst
 	if s.negate {
 		sol.Objective = -objStd
 	} else {
@@ -778,17 +878,23 @@ func (t *tableau) run() Status {
 	}
 }
 
-// price selects the entering column, or -1 at optimality.
+// price selects the entering column, or -1 at optimality. Among candidates
+// whose reduced costs are within tieTol of the most negative seen so far,
+// the smallest column index wins (the incumbent is kept).
 func (t *tableau) price(bland bool) int {
-	best, bestVal := -1, -optTol
+	best, bestVal := -1, 0.0
 	for j := 0; j < t.s.n; j++ {
 		if t.inBasis[j] || t.blocked[j] {
 			continue
 		}
-		if r := t.r[j]; r < bestVal {
-			if bland {
-				return j
-			}
+		r := t.r[j]
+		if r >= -optTol {
+			continue
+		}
+		if bland {
+			return j
+		}
+		if best == -1 || r < bestVal-tieTol {
 			best, bestVal = j, r
 		}
 	}
@@ -927,16 +1033,17 @@ func (t *tableau) tiebreak() Status {
 			return StatusInterrupted
 		}
 		bland := stall > 2*(s.m+8)
-		pc, bestVal := -1, -optTol
+		pc, bestVal := -1, 0.0
 		for j := 0; j < s.n; j++ {
-			if t.inBasis[j] || t.blocked[j] || t.r[j] > optTol {
+			if t.inBasis[j] || t.blocked[j] || t.r[j] > optTol || rw[j] >= -optTol {
 				continue
 			}
-			if rw[j] < bestVal {
+			if bland {
+				pc = j
+				break // smallest-index candidate
+			}
+			if pc == -1 || rw[j] < bestVal-tieTol {
 				pc, bestVal = j, rw[j]
-				if bland {
-					break // smallest-index candidate
-				}
 			}
 		}
 		if pc == -1 {
@@ -1192,13 +1299,20 @@ func (t *tableau) runDual() Status {
 		if t.interrupted() {
 			return StatusInterrupted
 		}
-		pr, viol, up := -1, feasTol, false
+		pr, viol, up := -1, 0.0, false
 		for i := 0; i < s.m; i++ {
+			var v float64
+			var u bool
 			switch {
-			case s.b[i] < -viol:
-				pr, viol, up = i, -s.b[i], false
-			case s.b[i] > viol && t.blocked[t.basis[i]]:
-				pr, viol, up = i, s.b[i], true
+			case s.b[i] < -feasTol:
+				v, u = -s.b[i], false
+			case s.b[i] > feasTol && t.blocked[t.basis[i]]:
+				v, u = s.b[i], true
+			default:
+				continue
+			}
+			if pr == -1 || v > viol+tieTol {
+				pr, viol, up = i, v, u
 			}
 		}
 		if pr == -1 {
@@ -1222,7 +1336,7 @@ func (t *tableau) runDual() Status {
 			if d > -pivotTol {
 				continue
 			}
-			if ratio := t.r[j] / -d; ratio < bestRatio {
+			if ratio := t.r[j] / -d; pc == -1 || ratio < bestRatio-tieTol {
 				pc, bestRatio = j, ratio
 			}
 		}

@@ -222,6 +222,10 @@ func runSearch(m *Model, opts Options, resume *checkpoint.BnBState) (*Result, er
 			// any doubt), so the explored tree stays bit-identical.
 			CaptureBasis: opts.WarmStart,
 			WarmStart:    nd.basis, // nil for the root or under a cold run
+			// The engine knob changes which implementation computes each
+			// relaxation, never the relaxation's answer, so the explored
+			// tree stays engine-independent (same contract as WarmStart).
+			Engine: opts.Engine,
 		})
 		if r.err != nil || r.sol == nil || r.sol.Status != lp.StatusOptimal {
 			return r

@@ -1,0 +1,162 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// Engine differential: branch-and-bound explores a tree whose shape is
+// dictated entirely by node relaxation answers. The lp engines are built to
+// be observationally identical, so swapping Options.Engine must leave the
+// WHOLE search invariant — same incumbent, same bound, and the same node /
+// LP-solve / pivot counters — at any worker count. These tests pin that
+// contract over representative models and seeded random instances.
+
+// milpFixtures returns fresh builders for the differential corpus: binaries
+// with knapsack/cover rows, complementarity disjunctions, indicators, and an
+// infeasible instance, covering every branching rule the solver has.
+func milpFixtures() map[string]func() *Model {
+	return map[string]func() *Model{
+		"knapsack": func() *Model {
+			p := lp.NewProblem("knapsack", lp.Maximize)
+			m := NewModel(p)
+			a := m.AddBinary("a")
+			b := m.AddBinary("b")
+			c := m.AddBinary("c")
+			p.SetObj(a, 10)
+			p.SetObj(b, 13)
+			p.SetObj(c, 7)
+			p.AddConstraint("w", lp.NewExpr().Add(a, 3).Add(b, 4).Add(c, 2), lp.LE, 6)
+			return m
+		},
+		"cover-min": func() *Model {
+			p := lp.NewProblem("cover", lp.Minimize)
+			m := NewModel(p)
+			a := m.AddBinary("a")
+			b := m.AddBinary("b")
+			c := m.AddBinary("c")
+			p.SetObj(a, 4)
+			p.SetObj(b, 3)
+			p.SetObj(c, 5)
+			p.AddConstraint("c1", lp.NewExpr().Add(a, 1).Add(b, 1), lp.GE, 1)
+			p.AddConstraint("c2", lp.NewExpr().Add(b, 1).Add(c, 1), lp.GE, 1)
+			return m
+		},
+		"compl-chain": func() *Model {
+			p := lp.NewProblem("chain", lp.Maximize)
+			m := NewModel(p)
+			u := p.AddVar("u", 0, 1)
+			v := p.AddVar("v", 0, 1)
+			w := p.AddVar("w", 0, 1)
+			p.SetObj(u, 3)
+			p.SetObj(v, 2)
+			p.SetObj(w, 5)
+			m.AddComplementarity(u, v, "uv")
+			m.AddComplementarity(v, w, "vw")
+			return m
+		},
+		"indicator": func() *Model {
+			p := lp.NewProblem("indicator", lp.Maximize)
+			m := NewModel(p)
+			x := p.AddVar("x", 0, 10)
+			y := m.AddBinary("y")
+			p.SetObj(x, 1)
+			p.SetObj(y, 3)
+			// y = 1 implies x <= 2: take the bonus on y or the larger x.
+			m.AddIndicatorLE("x-small-if-y", y, lp.NewExpr().Add(x, 1), 2, 100)
+			p.AddConstraint("cap", lp.NewExpr().Add(x, 1), lp.LE, 8)
+			return m
+		},
+		"infeasible": func() *Model {
+			p := lp.NewProblem("infeasible", lp.Maximize)
+			m := NewModel(p)
+			a := m.AddBinary("a")
+			b := m.AddBinary("b")
+			p.SetObj(a, 1)
+			p.AddConstraint("lo", lp.NewExpr().Add(a, 1).Add(b, 1), lp.GE, 2)
+			p.AddConstraint("hi", lp.NewExpr().Add(a, 1).Add(b, 1), lp.LE, 1)
+			return m
+		},
+	}
+}
+
+// assertRunsIdentical requires two B&B runs to be indistinguishable:
+// status, incumbent, bound, explored tree size, and LP work, down to the
+// pivot count.
+func assertRunsIdentical(t *testing.T, name string, ref, got *Result) {
+	t.Helper()
+	if got.Status != ref.Status {
+		t.Fatalf("%s: status %v vs %v", name, got.Status, ref.Status)
+	}
+	if math.Abs(got.Objective-ref.Objective) > 1e-9*(1+math.Abs(ref.Objective)) {
+		t.Fatalf("%s: objective %.15g vs %.15g", name, got.Objective, ref.Objective)
+	}
+	if math.Abs(got.Bound-ref.Bound) > 1e-9*(1+math.Abs(ref.Bound)) {
+		t.Fatalf("%s: bound %.15g vs %.15g", name, got.Bound, ref.Bound)
+	}
+	if got.Nodes != ref.Nodes {
+		t.Fatalf("%s: nodes %d vs %d", name, got.Nodes, ref.Nodes)
+	}
+	if got.LPSolves != ref.LPSolves {
+		t.Fatalf("%s: lp solves %d vs %d", name, got.LPSolves, ref.LPSolves)
+	}
+	if got.LPIters != ref.LPIters {
+		t.Fatalf("%s: lp pivots %d vs %d", name, got.LPIters, ref.LPIters)
+	}
+	for j := range ref.X {
+		if math.Abs(got.X[j]-ref.X[j]) > 1e-9*(1+math.Abs(ref.X[j])) {
+			t.Fatalf("%s: X[%d] = %.15g vs %.15g", name, j, got.X[j], ref.X[j])
+		}
+	}
+}
+
+// TestEngineDifferentialFixtures: every fixture, both engines, workers 1
+// and 4, warm-start off and on — all eight sparse runs must replay the
+// corresponding dense run exactly.
+func TestEngineDifferentialFixtures(t *testing.T) {
+	for name, build := range milpFixtures() {
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				for _, warm := range []bool{false, true} {
+					base := Options{Workers: workers, WarmStart: warm}
+					denseOpts := base
+					denseOpts.Engine = lp.EngineDense
+					sparseOpts := base
+					sparseOpts.Engine = lp.EngineSparse
+					dense, err := Solve(build(), denseOpts)
+					if err != nil {
+						t.Fatalf("dense workers=%d warm=%t: %v", workers, warm, err)
+					}
+					sparse, err := Solve(build(), sparseOpts)
+					if err != nil {
+						t.Fatalf("sparse workers=%d warm=%t: %v", workers, warm, err)
+					}
+					assertRunsIdentical(t, name, dense, sparse)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineDifferentialRandom sweeps the shared seeded instance generator
+// (the same one the fuzz harness uses) through both engines at 1 and 4
+// workers.
+func TestEngineDifferentialRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		m := randomModel(rand.New(rand.NewSource(seed)))
+		for _, workers := range []int{1, 4} {
+			dense, err := Solve(m, Options{Workers: workers, Engine: lp.EngineDense})
+			if err != nil {
+				t.Fatalf("seed %d dense: %v", seed, err)
+			}
+			sparse, err := Solve(m, Options{Workers: workers, Engine: lp.EngineSparse})
+			if err != nil {
+				t.Fatalf("seed %d sparse: %v", seed, err)
+			}
+			assertRunsIdentical(t, "random", dense, sparse)
+		}
+	}
+}

@@ -212,6 +212,17 @@ type Options struct {
 	// pivot counts (Result.LPIters, lp_iterations_total) change. See
 	// DESIGN.md, "Warm-started re-solves".
 	WarmStart bool
+	// Engine selects the lp simplex implementation for every node
+	// relaxation (lp.EngineDense, lp.EngineSparse; the zero value
+	// lp.EngineAuto resolves to the process default). Like Workers and
+	// WarmStart this changes only how each relaxation is computed, never
+	// its answer — both engines report the same optimal vertex — so the
+	// explored tree and all node counters are identical across engines and
+	// the knob is deliberately excluded from the checkpoint fingerprint.
+	// (lp's Presolve knob is intentionally NOT exposed here: a presolved
+	// relaxation may report a different vertex of a degenerate optimal
+	// face, which would steer branching and break that contract.)
+	Engine lp.Engine
 	// Seeds are known-feasible solutions installed as incumbents before the
 	// search starts (same contract as Polish: the objective must be
 	// genuinely achievable and the vector is treated opaquely). They
