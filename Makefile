@@ -19,15 +19,19 @@ fmt:
 test:
 	$(GO) test -race -shuffle=on ./...
 
-# lint is the CI lint job: stock vet, the gapvet contract suite, and (when
-# the network allows fetching it) govulncheck. Any finding is fatal.
+# lint is the CI lint job: stock vet, the gapvet contract suite with the
+# stale-allow audit, and (when the network allows fetching it) govulncheck.
+# Any finding — including a //gapvet:allow that no longer silences
+# anything — is fatal.
 lint: fmt
 	$(GO) vet ./...
-	$(GO) run ./cmd/gapvet ./...
+	$(GO) run ./cmd/gapvet . ./internal/... ./cmd/... ./examples/...
+	$(GO) run ./cmd/gapvet -stale-allows ./...
 	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 gapvet:
-	$(GO) run ./cmd/gapvet ./...
+	$(GO) run ./cmd/gapvet . ./internal/... ./cmd/... ./examples/...
+	$(GO) run ./cmd/gapvet -stale-allows ./...
 
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

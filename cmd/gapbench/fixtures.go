@@ -43,13 +43,16 @@ type fixture struct {
 	desc string
 	run  func(seed int64, tr *obs.Tracer) (*runOutcome, error)
 	// registrySoft marks fixtures whose obs-registry deltas are not exactly
-	// reproducible and must be recorded as soft metrics. The explored tree —
-	// and hence the solver's own result counters — is deterministic at any
-	// worker count, but the number of raw LP calls behind it is not: the
-	// polish price cache tolerates a benign race where two workers price the
-	// same fresh demand vector (core/dp.go, priceCache), costing an extra
-	// registry-counted solve on some schedules. Serial fixtures have no such
-	// race and keep their registry deltas hard.
+	// reproducible and must be recorded as soft metrics. No canonical
+	// fixture sets it today: the polish price cache used to tolerate a
+	// benign race where two workers priced the same fresh demand vector,
+	// costing an extra registry-counted LP solve on some schedules, but
+	// priceCache (core/dp.go) now single-flights fresh keys, so the raw LP
+	// call count equals the set of unique demand vectors and is
+	// schedule-independent. The field stays for future fixtures whose
+	// registry deltas are genuinely nondeterministic (the one remaining
+	// cache caveat — FIFO eviction past the entry cap — would qualify, but
+	// canonical workloads stay far under it).
 	registrySoft bool
 }
 
@@ -107,9 +110,11 @@ func fixtures() []fixture {
 		{
 			name: "parallel_w4",
 			desc: "identical tree to warm_off solved by 4 wave workers (solver counters must match warm_off)",
-			run:  metaFixture(4, false),
-			// 4 workers race on the polish price cache; see registrySoft.
-			registrySoft: true,
+			// Registry deltas gate hard since the polish price cache went
+			// single-flight: every unique demand vector prices exactly once
+			// regardless of worker schedule, so even the raw LP-call
+			// counters reproduce bit-for-bit at w=4.
+			run: metaFixture(4, false),
 		},
 		{
 			name: "smoke_b4_dp",

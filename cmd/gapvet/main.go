@@ -1,20 +1,30 @@
 // Command gapvet is the project's multichecker: it runs the gapvet
 // analyzer suite (detrand, walltime, floateq, maporder, tracecover,
-// ctxflow) over the given package patterns and exits nonzero on any finding, optionally
-// running stock `go vet` first so one invocation covers both layers.
+// ctxflow, hotalloc, sharedstate, errcontract) over the given package
+// patterns and exits nonzero on any finding, optionally running stock
+// `go vet` first so one invocation covers both layers.
 //
 // Usage:
 //
 //	go run ./cmd/gapvet ./...
 //	go run ./cmd/gapvet -vet -only detrand,floateq ./internal/...
+//	go run ./cmd/gapvet -json ./...            # machine-readable findings
+//	go run ./cmd/gapvet -stale-allows ./...    # also fail on dead suppressions
 //
 // Findings are silenced case by case with a //gapvet:allow <analyzer>
 // <reason> comment on the offending line or the line above; the reason is
-// mandatory. See DESIGN.md ("Static enforcement of the determinism
-// contract") for each analyzer's rationale and the suppression policy.
+// mandatory. -stale-allows audits those comments: an allow that no longer
+// silences any finding is reported (and fails the run), so suppressions
+// cannot outlive the contract deviations they documented. It only composes
+// with the full suite — under -only a stale allow is indistinguishable from
+// one whose analyzer was deselected, so the combination is rejected.
+//
+// See DESIGN.md ("Static enforcement of the determinism contract") for
+// each analyzer's rationale and the suppression policy.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,16 +36,16 @@ import (
 
 func main() {
 	var (
-		only = flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
-		vet  = flag.Bool("vet", false, "also run `go vet` on the same patterns first")
-		list = flag.Bool("list", false, "list analyzers and exit")
+		only        = flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
+		vet         = flag.Bool("vet", false, "also run `go vet` on the same patterns first")
+		list        = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut     = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		staleAllows = flag.Bool("stale-allows", false, "also report //gapvet:allow comments that no longer silence any finding (full suite only)")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, a := range analysis.All() {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
-		}
+		listAnalyzers(os.Stdout)
 		return
 	}
 
@@ -46,6 +56,10 @@ func main() {
 
 	analyzers := analysis.All()
 	if *only != "" {
+		if *staleAllows {
+			fmt.Fprintln(os.Stderr, "gapvet: -stale-allows needs the full suite; it cannot be combined with -only")
+			os.Exit(2)
+		}
 		byName := make(map[string]*analysis.Analyzer)
 		for _, a := range analyzers {
 			byName[a.Name] = a
@@ -54,7 +68,8 @@ func main() {
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "gapvet: unknown analyzer %q (use -list)\n", name)
+				fmt.Fprintf(os.Stderr, "gapvet: unknown analyzer %q; available analyzers:\n", name)
+				listAnalyzers(os.Stderr)
 				os.Exit(2)
 			}
 			analyzers = append(analyzers, a)
@@ -76,15 +91,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gapvet: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	res, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gapvet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	diags := res.Findings
+	if *staleAllows {
+		diags = append(diags, res.Stale...)
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "gapvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if failed || len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+func listAnalyzers(w *os.File) {
+	for _, a := range analysis.All() {
+		fmt.Fprintf(w, "%-11s %s\n", a.Name, a.Doc)
+	}
+}
+
+// jsonDiag is the machine-readable finding shape CI consumes to emit
+// GitHub error annotations. Paths are kept exactly as reported (absolute
+// or relative to the working directory, per the loader).
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

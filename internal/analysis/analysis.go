@@ -55,15 +55,30 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// Pass carries one package's syntax and type information to an analyzer.
+// Pass carries one package's syntax and type information to an analyzer,
+// plus the interprocedural context: the package's call graph and the
+// suite-wide fact store (already populated for every dependency, because
+// the driver feeds packages through in build order).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Graph    *CallGraph
+	Facts    *FactSet
 
-	diags *[]Diagnostic
+	allowed map[allowKey]bool
+	diags   *[]Diagnostic
+}
+
+// Allowed reports whether a //gapvet:allow comment for the named analyzer
+// covers pos. Fact-generating analyzers consult this so an annotated
+// violation is sanctioned all the way up its call chain, not just at the
+// flagged line.
+func (p *Pass) Allowed(analyzer string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	return p.allowed[allowKey{file: position.Filename, line: position.Line, analyzer: analyzer}]
 }
 
 // Reportf records a finding at pos.
@@ -91,7 +106,16 @@ func (d Diagnostic) String() string {
 
 // All returns the full gapvet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Walltime, Floateq, Maporder, Tracecover, Ctxflow}
+	return []*Analyzer{Detrand, Walltime, Floateq, Maporder, Tracecover, Ctxflow, Hotalloc, Sharedstate, Errcontract}
+}
+
+// Result is one full driver run: the surviving findings plus the stale
+// //gapvet:allow comments (allows that no raw finding needed). Stale is
+// only meaningful when the full suite ran — a subset run cannot tell a
+// stale allow from one whose analyzer simply was not selected.
+type Result struct {
+	Findings []Diagnostic
+	Stale    []Diagnostic
 }
 
 // RunAnalyzers runs every analyzer over every package, applies
@@ -99,6 +123,17 @@ func All() []*Analyzer {
 // position. Malformed suppression comments are returned as findings of the
 // pseudo-analyzer "gapvet".
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := Run(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// Run is the full driver. Packages must be in dependency order (Load
+// guarantees this) so facts exported while analyzing a package are in
+// place before any importer of that package is inspected.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 	// Suppressions may name any analyzer in the suite, not just the ones
 	// selected for this run (-only must not turn valid allows into findings).
 	known := make(map[string]bool)
@@ -108,8 +143,19 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	facts := NewFactSet()
 	var out []Diagnostic
+	var sites []allowSite
+	used := make(map[allowKey]bool)
 	for _, pkg := range pkgs {
+		pkgSites, bad := suppressions(pkg, known)
+		allowed := make(map[allowKey]bool)
+		for _, s := range pkgSites {
+			for _, line := range []int{s.pos.Line, s.pos.Line + 1} {
+				allowed[allowKey{file: s.pos.Filename, line: line, analyzer: s.analyzer}] = true
+			}
+		}
+		graph := buildCallGraph(pkg.Files, pkg.Info)
 		var raw []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -118,21 +164,49 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Graph:    graph,
+				Facts:    facts,
+				allowed:  allowed,
 				diags:    &raw,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
-		allowed, bad := suppressions(pkg, known)
 		for _, d := range raw {
-			if allowed[allowKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}] {
+			k := allowKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}
+			if allowed[k] {
+				used[k] = true
 				continue
 			}
 			out = append(out, d)
 		}
 		out = append(out, bad...)
+		sites = append(sites, pkgSites...)
 	}
+	var stale []Diagnostic
+	for _, s := range sites {
+		live := false
+		for _, line := range []int{s.pos.Line, s.pos.Line + 1} {
+			if used[allowKey{file: s.pos.Filename, line: line, analyzer: s.analyzer}] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			stale = append(stale, Diagnostic{
+				Analyzer: "gapvet",
+				Pos:      s.pos,
+				Message:  fmt.Sprintf("stale suppression: //gapvet:allow %s no longer silences any finding; remove it (or the contract it documented has rotted)", s.analyzer),
+			})
+		}
+	}
+	sortDiags(out)
+	sortDiags(stale)
+	return &Result{Findings: out, Stale: stale}, nil
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -146,7 +220,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
 }
 
 type allowKey struct {
@@ -159,12 +232,19 @@ type allowKey struct {
 // non-empty trailing text.
 var allowRe = regexp.MustCompile(`^//gapvet:allow\s+(\S+)(?:\s+(.*))?$`)
 
+// allowSite is one well-formed //gapvet:allow comment: its position and the
+// analyzer it silences (on the comment's line and the line below).
+type allowSite struct {
+	pos      token.Position
+	analyzer string
+}
+
 // suppressions scans a package's comments for //gapvet:allow markers. A
 // marker on line L silences the named analyzer on lines L and L+1 of the
 // same file (end-of-line and line-above placement). Markers lacking a
 // reason or naming an unknown analyzer are returned as findings.
-func suppressions(pkg *Package, known map[string]bool) (map[allowKey]bool, []Diagnostic) {
-	allowed := make(map[allowKey]bool)
+func suppressions(pkg *Package, known map[string]bool) ([]allowSite, []Diagnostic) {
+	var sites []allowSite
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -191,13 +271,11 @@ func suppressions(pkg *Package, known map[string]bool) (map[allowKey]bool, []Dia
 					})
 					continue
 				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					allowed[allowKey{file: pos.Filename, line: line, analyzer: m[1]}] = true
-				}
+				sites = append(sites, allowSite{pos: pos, analyzer: m[1]})
 			}
 		}
 	}
-	return allowed, bad
+	return sites, bad
 }
 
 // pkgLevelFunc resolves e (a call's Fun or a bare reference) to a

@@ -29,14 +29,47 @@ var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
 // the same per-package gating as the real tree.
 func RunGolden(t testing.TB, a *Analyzer, rel string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
-	pkg, err := LoadDir(dir, path.Join("gapvet", rel))
-	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+	runGolden(t, []*Analyzer{a}, []string{rel}, false)
+}
+
+// RunGoldenMulti is RunGolden over several golden packages analyzed in the
+// order given — dependencies first, exactly like the real driver's
+// dependency-ordered load. Later packages may import earlier ones by their
+// fake gapvet/<rel> paths, which is how the interprocedural analyzers are
+// exercised across a package boundary: the dependency exports facts, the
+// importer's call sites get flagged.
+func RunGoldenMulti(t testing.TB, a *Analyzer, rels ...string) {
+	t.Helper()
+	runGolden(t, []*Analyzer{a}, rels, false)
+}
+
+// RunGoldenStale runs the full suite over the golden packages and compares
+// the combined findings-plus-stale-suppression diagnostics against the
+// want comments — the golden harness for `gapvet -stale-allows`.
+func RunGoldenStale(t testing.TB, rels ...string) {
+	t.Helper()
+	runGolden(t, All(), rels, true)
+}
+
+func runGolden(t testing.TB, analyzers []*Analyzer, rels []string, includeStale bool) {
+	t.Helper()
+	dirs := make([]string, len(rels))
+	paths := make([]string, len(rels))
+	for i, rel := range rels {
+		dirs[i] = filepath.Join("testdata", "src", filepath.FromSlash(rel))
+		paths[i] = path.Join("gapvet", rel)
 	}
-	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	pkgs, err := LoadDirs(dirs, paths)
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		t.Fatalf("loading %v: %v", dirs, err)
+	}
+	res, err := Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running on %v: %v", dirs, err)
+	}
+	diags := res.Findings
+	if includeStale {
+		diags = append(diags, res.Stale...)
 	}
 
 	type want struct {
@@ -46,37 +79,39 @@ func RunGolden(t testing.TB, a *Analyzer, rel string) {
 		matched bool
 	}
 	var wants []*want
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i, line := range strings.Split(string(data), "\n") {
-			m := wantRe.FindStringSubmatch(line)
-			if m == nil {
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 				continue
 			}
-			qs := quotedRe.FindAllString(m[1], -1)
-			if len(qs) == 0 {
-				t.Fatalf("%s:%d: want comment carries no quoted regexp", e.Name(), i+1)
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
 			}
-			for _, q := range qs {
-				pat, err := strconv.Unquote(q)
-				if err != nil {
-					t.Fatalf("%s:%d: bad want string %s: %v", e.Name(), i+1, q, err)
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
 				}
-				re, err := regexp.Compile(pat)
-				if err != nil {
-					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, pat, err)
+				qs := quotedRe.FindAllString(m[1], -1)
+				if len(qs) == 0 {
+					t.Fatalf("%s:%d: want comment carries no quoted regexp", e.Name(), i+1)
 				}
-				wants = append(wants, &want{file: e.Name(), line: i + 1, re: re})
+				for _, q := range qs {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", e.Name(), i+1, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, pat, err)
+					}
+					wants = append(wants, &want{file: e.Name(), line: i + 1, re: re})
+				}
 			}
 		}
 	}

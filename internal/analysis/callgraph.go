@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the deterministic intra-package call graph the
+// interprocedural analyzers walk. The graph is syntax-directed and
+// resolves only what is statically certain:
+//
+//   - direct calls to package-level functions and to methods whose
+//     concrete receiver type is known at the call site;
+//   - calls through a local variable that is assigned exactly one
+//     function literal and never reassigned (the worker-body idiom);
+//   - immediately-invoked function literals.
+//
+// Calls through interfaces, function-typed fields, parameters, and
+// reassigned variables are left unresolved — deterministically: the edge
+// is still recorded (with a nil callee) so analyzers can choose to be
+// conservative about them, and node and edge order depend only on source
+// position, never on map iteration.
+
+// FuncNode is one function in a package's call graph: a declared function
+// or method (Decl != nil) or a function literal (Lit != nil).
+type FuncNode struct {
+	// Obj is the declared function's object; nil for literals.
+	Obj *types.Func
+	// Decl / Lit: exactly one is non-nil.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Out lists every call site lexically inside this function's body but
+	// outside any nested function literal (nested literals are their own
+	// nodes), in source order.
+	Out []CallEdge
+}
+
+// Pos returns the node's declaration position.
+func (n *FuncNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// Body returns the node's body block.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// CallEdge is one call site inside a FuncNode.
+type CallEdge struct {
+	Site *ast.CallExpr
+	// Callee is the local node when the target is declared (or is a
+	// resolvable literal) in this package; nil otherwise.
+	Callee *FuncNode
+	// CalleeObj is the resolved callee object — set for both local and
+	// imported targets when the call is statically resolvable. nil means
+	// the call is dynamic (interface method, function value of unknown
+	// origin, builtin) and deliberately left unresolved.
+	CalleeObj *types.Func
+}
+
+// CallGraph is one package's call graph. Nodes are in source order.
+type CallGraph struct {
+	Nodes []*FuncNode
+
+	byObj map[*types.Func]*FuncNode
+	byLit map[*ast.FuncLit]*FuncNode
+}
+
+// NodeFor returns the node of a declared function object, or nil.
+func (g *CallGraph) NodeFor(obj *types.Func) *FuncNode { return g.byObj[obj] }
+
+// buildCallGraph constructs the call graph for one package.
+func buildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		byObj: make(map[*types.Func]*FuncNode),
+		byLit: make(map[*ast.FuncLit]*FuncNode),
+	}
+	// Pass 1: create one node per declared function and per function
+	// literal, in source order.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				node := &FuncNode{Decl: x}
+				if fn, ok := info.Defs[x.Name].(*types.Func); ok {
+					node.Obj = fn
+					g.byObj[fn] = node
+				}
+				g.Nodes = append(g.Nodes, node)
+			case *ast.FuncLit:
+				node := &FuncNode{Lit: x}
+				g.byLit[x] = node
+				g.Nodes = append(g.Nodes, node)
+			}
+			return true
+		})
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].Pos() < g.Nodes[j].Pos() })
+
+	// Pass 2: per enclosing function, resolve assigned-once function-literal
+	// variables, then record every call site.
+	for _, node := range g.Nodes {
+		body := node.Body()
+		if body == nil {
+			continue
+		}
+		litVars := assignedOnceLiterals(body, info)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // nested literal: its calls belong to its own node
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			edge := CallEdge{Site: call}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.FuncLit:
+				// Immediately-invoked literal.
+				edge.Callee = g.byLit[fun]
+			case *ast.Ident:
+				if v, ok := info.Uses[fun].(*types.Var); ok {
+					if lit := litVars[v]; lit != nil {
+						edge.Callee = g.byLit[lit]
+						break
+					}
+				}
+				edge.CalleeObj = resolveStaticCallee(info, fun)
+			case *ast.SelectorExpr:
+				edge.CalleeObj = resolveStaticCallee(info, fun)
+			}
+			if edge.CalleeObj != nil {
+				edge.Callee = g.byObj[edge.CalleeObj]
+			}
+			node.Out = append(node.Out, edge)
+			return true
+		})
+	}
+	return g
+}
+
+// resolveStaticCallee resolves a call's Fun expression to a statically
+// certain *types.Func: a package-level function, or a method invoked on a
+// concrete (non-interface) receiver. Interface method calls and anything
+// else dynamic return nil.
+func resolveStaticCallee(info *types.Info, e ast.Expr) *types.Func {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		// A method call through an interface dispatches dynamically; the
+		// Selection tells us whether the receiver is an interface.
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+		}
+		obj = info.Uses[x.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
+}
+
+// assignedOnceLiterals maps local variables that are bound to exactly one
+// function literal and never reassigned inside body. Calls through such a
+// variable resolve to that literal.
+func assignedOnceLiterals(body *ast.BlockStmt, info *types.Info) map[*types.Var]*ast.FuncLit {
+	bound := make(map[*types.Var]*ast.FuncLit)
+	dead := make(map[*types.Var]bool) // reassigned or multiply-bound
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj, ok := objOf(info, id).(*types.Var)
+		if !ok {
+			return
+		}
+		lit, isLit := ast.Unparen(rhs).(*ast.FuncLit)
+		if !isLit || bound[obj] != nil || dead[obj] {
+			dead[obj] = true
+			delete(bound, obj)
+			return
+		}
+		bound[obj] = lit
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if i < len(st.Rhs) {
+					record(lhs, st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if i < len(st.Values) {
+					record(name, st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return bound
+}
+
+// objOf returns the object an identifier uses or defines.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadCallgraphFixture builds the call graph of the unit fixture package.
+func loadCallgraphFixture(t *testing.T) (*Package, *CallGraph) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "callgraph", "a"), "gapvet/callgraph/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, buildCallGraph(pkg.Files, pkg.Info)
+}
+
+func declNode(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Decl != nil && n.Decl.Name.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no declared node %q", name)
+	return nil
+}
+
+// TestCallGraphNodeOrder pins determinism: nodes come out in source
+// position order, declared functions and literals interleaved where they
+// appear.
+func TestCallGraphNodeOrder(t *testing.T) {
+	_, g := loadCallgraphFixture(t)
+	var declared []string
+	lits := 0
+	for i, n := range g.Nodes {
+		if i > 0 && n.Pos() <= g.Nodes[i-1].Pos() {
+			t.Fatalf("node %d out of source order", i)
+		}
+		if n.Decl != nil {
+			declared = append(declared, n.Decl.Name.Name)
+		} else {
+			lits++
+		}
+	}
+	wantDecls := []string{"bump", "freeFn", "callsFree", "callsMethod", "callsIface", "callsLitVar", "callsIIFE", "reassigned"}
+	if len(declared) != len(wantDecls) {
+		t.Fatalf("declared nodes = %v, want %v", declared, wantDecls)
+	}
+	for i := range wantDecls {
+		if declared[i] != wantDecls[i] {
+			t.Fatalf("declared nodes = %v, want %v", declared, wantDecls)
+		}
+	}
+	if lits != 4 {
+		t.Fatalf("literal nodes = %d, want 4", lits)
+	}
+}
+
+// TestCallGraphResolution is the resolution rule table: what each call
+// shape resolves to, and what is deterministically left unresolved.
+func TestCallGraphResolution(t *testing.T) {
+	_, g := loadCallgraphFixture(t)
+	freeFn := declNode(t, g, "freeFn")
+	bump := declNode(t, g, "bump")
+
+	cases := []struct {
+		caller string
+		// wantObj is the expected resolved callee node (nil = dynamic call
+		// deliberately unresolved); wantLit selects a literal callee instead.
+		wantNode *FuncNode
+		wantLit  bool
+	}{
+		{caller: "callsFree", wantNode: freeFn},
+		{caller: "callsMethod", wantNode: bump},
+		{caller: "callsIface", wantNode: nil},
+		{caller: "callsLitVar", wantLit: true},
+		{caller: "callsIIFE", wantLit: true},
+		{caller: "reassigned", wantNode: nil},
+	}
+	for _, tc := range cases {
+		node := declNode(t, g, tc.caller)
+		if len(node.Out) != 1 {
+			t.Errorf("%s: %d edges, want 1", tc.caller, len(node.Out))
+			continue
+		}
+		e := node.Out[0]
+		switch {
+		case tc.wantLit:
+			if e.Callee == nil || e.Callee.Lit == nil {
+				t.Errorf("%s: call did not resolve to a literal node", tc.caller)
+			}
+			if e.CalleeObj != nil {
+				t.Errorf("%s: literal call has a callee object", tc.caller)
+			}
+		case tc.wantNode == nil:
+			if e.Callee != nil || e.CalleeObj != nil {
+				t.Errorf("%s: dynamic call resolved to %v/%v, want unresolved", tc.caller, e.Callee, e.CalleeObj)
+			}
+		default:
+			if e.Callee != tc.wantNode {
+				t.Errorf("%s: resolved to wrong node", tc.caller)
+			}
+			if e.CalleeObj == nil || e.CalleeObj != tc.wantNode.Obj {
+				t.Errorf("%s: callee object mismatch", tc.caller)
+			}
+		}
+	}
+	// Literal bodies own their calls: the literal inside callsLitVar has one
+	// edge to freeFn; the enclosing function does not inherit it.
+	litVar := declNode(t, g, "callsLitVar")
+	var lit *FuncNode
+	for _, n := range g.Nodes {
+		if n.Lit != nil && n.Pos() > litVar.Pos() && n.Pos() < declNode(t, g, "callsIIFE").Pos() {
+			lit = n
+			break
+		}
+	}
+	if lit == nil {
+		t.Fatal("no literal node inside callsLitVar")
+	}
+	if len(lit.Out) != 1 || lit.Out[0].Callee != freeFn {
+		t.Fatalf("callsLitVar literal edges wrong: %d", len(lit.Out))
+	}
+}
+
+// TestFactSetKeys pins ObjKey normalization and deterministic key order.
+func TestFactSetKeys(t *testing.T) {
+	pkg, g := loadCallgraphFixture(t)
+	_ = pkg
+	bump := declNode(t, g, "bump")
+	if got, want := ObjKey(bump.Obj), "gapvet/callgraph/a.(counter).bump"; got != want {
+		t.Errorf("method ObjKey = %q, want %q", got, want)
+	}
+	free := declNode(t, g, "freeFn")
+	if got, want := ObjKey(free.Obj), "gapvet/callgraph/a.freeFn"; got != want {
+		t.Errorf("func ObjKey = %q, want %q", got, want)
+	}
+	fs := NewFactSet()
+	fs.Export("f", "b.key", "first")
+	fs.Export("f", "a.key", "x")
+	fs.Export("f", "b.key", "second") // first provenance wins
+	if d, ok := fs.Lookup("f", "b.key"); !ok || d != "first" {
+		t.Errorf("Lookup = %q,%v want first,true", d, ok)
+	}
+	keys := fs.Keys("f")
+	if len(keys) != 2 || keys[0] != "a.key" || keys[1] != "b.key" {
+		t.Errorf("Keys = %v, want sorted [a.key b.key]", keys)
+	}
+}

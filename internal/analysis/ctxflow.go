@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -12,9 +13,18 @@ import (
 // options structs count) — so new solve paths stay cancellable without API
 // surgery. Entry points are matched exactly like tracecover: by name
 // (Solve*, Run*) and by shape (first result a *Result).
+//
+// The check is interprocedural: every function whose signature can receive
+// a context exports an "accepts-ctx" fact, and the fact propagates along
+// call chains restricted to exported entry-point overloads. An entry point
+// without its own context access is therefore compliant when it delegates
+// to a sibling overload that has it — the zero-options convenience wrapper
+// Solve() { return SolveWith(SolveOptions{}) } — because the cancellable
+// path exists and the wrapper adds no new solve logic. A wrapper calling
+// only ctx-less code is still flagged.
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
-	Doc:  "exported Solve/Run-shaped entry points in solver packages must accept a context.Context (parameter or options field)",
+	Doc:  "exported Solve/Run-shaped entry points in solver packages must accept a context.Context (parameter, options field, or delegation to an overload that does)",
 	Run:  runCtxflow,
 }
 
@@ -26,7 +36,49 @@ var ctxflowTargets = map[string]bool{
 	"blackbox": true,
 }
 
+// ctxDelegationEdge reports whether a call edge can discharge the
+// cancellation obligation: the target must be an exported entry-point
+// overload the caller's own caller could have used directly. Anything
+// else (unexported helpers, literals, dynamic calls) does not count —
+// delegating the contract to an internal function hides it, not honors it.
+func ctxDelegationEdge(e CallEdge) bool {
+	fn := e.CalleeObj
+	if fn == nil || !fn.Exported() {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && entryPointShaped(fn.Name(), sig)
+}
+
 func runCtxflow(p *Pass) error {
+	// Fact generation runs in every package (not just targets): a wrapper
+	// in one solver package may delegate to an entry point of another, and
+	// the fact must already be exported when the caller is analyzed.
+	reaches := factProp{
+		fact: FactAcceptsCtx,
+		direct: func(n *FuncNode) string {
+			if n.Obj == nil {
+				return ""
+			}
+			if sig, ok := n.Obj.Type().(*types.Signature); ok && signatureHasContext(sig) {
+				return fmt.Sprintf("%s accepts a context.Context", n.Obj.Name())
+			}
+			return ""
+		},
+		follow: ctxDelegationEdge,
+		external: func(p *Pass, fn *types.Func) (string, bool) {
+			if d, ok := p.Facts.Lookup(FactAcceptsCtx, ObjKey(fn)); ok {
+				return d, true
+			}
+			// Dependencies outside the analysis scope still expose their
+			// signatures; a direct context parameter there counts.
+			if sig, ok := fn.Type().(*types.Signature); ok && signatureHasContext(sig) {
+				return fmt.Sprintf("%s accepts a context.Context", fn.Name()), true
+			}
+			return "", false
+		},
+	}.run(p)
+
 	if !ctxflowTargets[pkgTail(p.Pkg.Path())] {
 		return nil
 	}
@@ -44,10 +96,10 @@ func runCtxflow(p *Pass) error {
 			if !entryPointShaped(fd.Name.Name, sig) {
 				continue
 			}
-			if signatureHasContext(sig) {
-				continue
+			if node := p.Graph.NodeFor(fn); node != nil && reaches[node] != "" {
+				continue // direct access or delegation to an overload that has it
 			}
-			p.Reportf(fd.Name.Pos(), "exported entry point %s takes no context.Context; accept one (parameter or options-struct field) so the solve stays cancellable", fd.Name.Name)
+			p.Reportf(fd.Name.Pos(), "exported entry point %s takes no context.Context; accept one (parameter or options-struct field) or delegate to an overload that does, so the solve stays cancellable", fd.Name.Name)
 		}
 	}
 	return nil

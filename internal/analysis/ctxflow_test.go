@@ -9,3 +9,10 @@ func TestCtxflowFlagging(t *testing.T) {
 func TestCtxflowNonTargetPackage(t *testing.T) {
 	RunGolden(t, Ctxflow, "ctxflow/other")
 }
+
+// TestCtxflowDelegation pins the delegation rule: Solve() delegating to
+// SolveWith(Options{Ctx...}) is compliant; an entry point reaching only
+// unexported ctx-less code is not.
+func TestCtxflowDelegation(t *testing.T) {
+	RunGolden(t, Ctxflow, "ctxflow/delegate/lp")
+}

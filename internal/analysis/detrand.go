@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 )
 
@@ -17,9 +18,17 @@ import (
 //
 // Constructors (New, NewSource, NewZipf, NewPCG, NewChaCha8) with
 // data-derived seeds are the sanctioned way to mint an RNG.
+//
+// The analyzer is interprocedural: every function that transitively draws
+// from global math/rand state (through helpers, methods, and assigned-once
+// function literals) exports a "draws-global-rand" fact, and any call from
+// another package into such a function is flagged at the call site — so a
+// utility wrapper cannot launder a global draw across a package boundary.
+// An annotated draw (//gapvet:allow detrand <reason>) is sanctioned all
+// the way up its call chain.
 var Detrand = &Analyzer{
 	Name: "detrand",
-	Doc:  "flags global math/rand state and time-seeded generators; all randomness must flow through an injected, explicitly seeded *rand.Rand",
+	Doc:  "flags global math/rand state and time-seeded generators, including draws wrapped in helpers (interprocedural); all randomness must flow through an injected, explicitly seeded *rand.Rand",
 	Run:  runDetrand,
 }
 
@@ -36,6 +45,49 @@ func isRandPkg(path string) bool {
 }
 
 func runDetrand(p *Pass) error {
+	// Fact generation: a function draws global randomness when a global
+	// math/rand selector sits lexically in its body (outside any nested
+	// literal) without an annotation; the fact propagates through every
+	// statically resolved call.
+	factProp{
+		fact: FactGlobalRand,
+		direct: func(n *FuncNode) string {
+			detail := ""
+			nodeBodyInspect(n, func(nd ast.Node) bool {
+				if detail != "" {
+					return false
+				}
+				sel, ok := nd.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, name := pkgLevelFunc(p.Info, sel)
+				if isRandPkg(pkg) && !detrandConstructors[name] && !p.Allowed("detrand", sel.Pos()) {
+					detail = fmt.Sprintf("%s.%s at %s", pkg, name, p.Fset.Position(sel.Pos()))
+					return false
+				}
+				return true
+			})
+			return detail
+		},
+	}.run(p)
+
+	// Interprocedural flagging: a cross-package call into a function that
+	// draws global randomness. The draw itself was already flagged in its
+	// defining package, so same-package calls are not re-flagged.
+	for _, node := range p.Graph.Nodes {
+		for _, e := range node.Out {
+			fn := e.CalleeObj
+			if fn == nil || fn.Pkg() == nil || fn.Pkg() == p.Pkg {
+				continue
+			}
+			if prov, ok := p.Facts.Lookup(FactGlobalRand, ObjKey(fn)); ok {
+				p.Reportf(e.Site.Pos(), "call to %s draws from global math/rand (%s); draw from an injected *rand.Rand instead (injected-RNG contract)",
+					FuncDisplayName(ObjKey(fn)), prov)
+			}
+		}
+	}
+
 	for _, f := range p.Files {
 		// flaggedClock tracks constructor calls already reported for clock
 		// seeding, so rand.New(rand.NewSource(time.Now()...)) yields one

@@ -9,3 +9,10 @@ func TestDetrandFlagging(t *testing.T) {
 func TestDetrandClean(t *testing.T) {
 	RunGolden(t, Detrand, "detrand/b")
 }
+
+// TestDetrandInterprocedural pins the fact path: the global draw is
+// flagged at its source in util, and every cross-package call into the
+// wrapping helpers is flagged at the call site with root provenance.
+func TestDetrandInterprocedural(t *testing.T) {
+	RunGoldenMulti(t, Detrand, "detrand/util", "detrand/caller")
+}

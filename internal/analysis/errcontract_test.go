@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestErrcontractFlagging(t *testing.T) {
+	RunGolden(t, Errcontract, "errcontract/a")
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The fact store is how analyzers see across function and package
+// boundaries. An analyzer running on package P exports facts about P's
+// functions ("calls the wall clock", "allocates", "accepts a context");
+// when the driver later analyzes a package that imports P, the same store
+// answers queries about P's objects. RunAnalyzers feeds packages through
+// in dependency order (Load topologically sorts the build graph), so by
+// the time a call site is inspected, its callee's facts are final —
+// the in-process equivalent of the x/tools Facts export/import cycle.
+//
+// Facts are keyed by a stable string derived from the object (package
+// path, receiver type, name) rather than by object identity: the offline
+// source importer re-type-checks dependencies, so the *types.Func seen
+// from an importing package is a different object than the one the
+// defining package's pass saw. The string key is identical in both
+// universes.
+
+// Fact names used by the suite.
+const (
+	// FactWallClock marks a function that (transitively) reads the wall
+	// clock outside a deadline guard or an annotated timing context.
+	FactWallClock = "calls-wall-clock"
+	// FactGlobalRand marks a function that (transitively) draws from
+	// global math/rand state.
+	FactGlobalRand = "draws-global-rand"
+	// FactAcceptsCtx marks a function whose signature can receive a
+	// context.Context (parameter or options-struct field).
+	FactAcceptsCtx = "accepts-ctx"
+	// FactAllocates marks a function that (transitively) allocates on a
+	// path hotalloc polices.
+	FactAllocates = "allocates"
+)
+
+// FactSet is the shared store. One instance lives for a whole
+// RunAnalyzers invocation, visible to every analyzer on every package.
+type FactSet struct {
+	m map[string]map[string]string // fact name -> obj key -> provenance
+}
+
+// NewFactSet returns an empty store.
+func NewFactSet() *FactSet {
+	return &FactSet{m: make(map[string]map[string]string)}
+}
+
+// ObjKey returns the stable cross-package key of a function object:
+// "path.Func" for package-level functions, "path.(Recv).Method" for
+// methods (pointer receivers normalized away).
+func ObjKey(fn *types.Func) string {
+	path := ""
+	if fn.Pkg() != nil {
+		path = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		recv := rt.String()
+		if named, ok := rt.(*types.Named); ok {
+			recv = named.Obj().Name()
+		}
+		return fmt.Sprintf("%s.(%s).%s", path, recv, fn.Name())
+	}
+	return path + "." + fn.Name()
+}
+
+// Export records fact -> key with a human-readable provenance chain
+// (shown in diagnostics: "via solveClock, which calls time.Now at ...").
+// A key's first provenance wins, keeping messages independent of
+// re-export order.
+func (fs *FactSet) Export(fact, key, provenance string) {
+	byKey := fs.m[fact]
+	if byKey == nil {
+		byKey = make(map[string]string)
+		fs.m[fact] = byKey
+	}
+	if _, ok := byKey[key]; !ok {
+		byKey[key] = provenance
+	}
+}
+
+// Lookup reports whether fact is recorded for key, with its provenance.
+func (fs *FactSet) Lookup(fact, key string) (provenance string, ok bool) {
+	p, ok := fs.m[fact][key]
+	return p, ok
+}
+
+// Has reports whether the object carries the fact.
+func (fs *FactSet) Has(fact string, fn *types.Func) bool {
+	_, ok := fs.m[fact][ObjKey(fn)]
+	return ok
+}
+
+// Provenance returns the object's provenance string for fact ("" if absent).
+func (fs *FactSet) Provenance(fact string, fn *types.Func) string {
+	p, _ := fs.m[fact][ObjKey(fn)]
+	return p
+}
+
+// Keys returns the sorted keys carrying fact — the deterministic
+// enumeration used by tests and debug output.
+func (fs *FactSet) Keys(fact string) []string {
+	var out []string
+	for k := range fs.m[fact] {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FuncDisplayName renders an object key back into the short form used in
+// diagnostics: "pkgtail.Func" or "pkgtail.(Recv).Method".
+func FuncDisplayName(key string) string {
+	// The key is path-qualified; trim to the path tail for readability.
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

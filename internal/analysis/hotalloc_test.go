@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestHotallocFlagging(t *testing.T) {
+	RunGolden(t, Hotalloc, "hotalloc/a")
+}
+
+// TestHotallocCrossPackage pins the fact path: util.Format's allocation is
+// discovered when util is analyzed, and the annotated caller in hot is
+// flagged at its call site via the imported "allocates" fact.
+func TestHotallocCrossPackage(t *testing.T) {
+	RunGoldenMulti(t, Hotalloc, "hotalloc/util", "hotalloc/hot")
+}

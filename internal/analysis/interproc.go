@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// factProp is one fact-propagation problem over a package's call graph:
+// seed nodes that exhibit a property directly, then close the property
+// over statically resolved call edges, consulting the cross-package fact
+// store for callees defined in already-analyzed dependencies. The result
+// is deterministic: nodes are iterated in source order, the first
+// fact-transmitting edge of a node (in call-site order) supplies its
+// provenance, and the fixpoint loop adds facts monotonically.
+type factProp struct {
+	fact string
+	// direct returns a non-empty provenance ("time.Now at lp.go:12") when
+	// the node exhibits the property in its own body.
+	direct func(*FuncNode) string
+	// follow reports whether an edge transmits the fact (nil = all
+	// resolved edges do). ctxflow restricts edges to exported entry-point
+	// overloads; the leakage facts follow every resolved call.
+	follow func(CallEdge) bool
+	// external resolves the fact for a callee outside the current package
+	// (nil = look it up in the pass's fact store).
+	external func(p *Pass, fn *types.Func) (string, bool)
+}
+
+// run computes the fixpoint for the current package and exports the fact
+// for every declared function that carries it. It returns each node's
+// provenance (absent key = fact not held).
+func (fp factProp) run(p *Pass) map[*FuncNode]string {
+	external := fp.external
+	if external == nil {
+		external = func(p *Pass, fn *types.Func) (string, bool) {
+			return p.Facts.Lookup(fp.fact, ObjKey(fn))
+		}
+	}
+	details := make(map[*FuncNode]string)
+	for _, n := range p.Graph.Nodes {
+		if d := fp.direct(n); d != "" {
+			details[n] = d
+		}
+	}
+	// Close over call edges. The loop is bounded by the node count: each
+	// useful sweep marks at least one new node.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range p.Graph.Nodes {
+			if details[n] != "" {
+				continue
+			}
+			for _, e := range n.Out {
+				if fp.follow != nil && !fp.follow(e) {
+					continue
+				}
+				var d string
+				switch {
+				case e.Callee != nil:
+					if cd := details[e.Callee]; cd != "" {
+						d = viaDetail(p, e, cd)
+					}
+				case e.CalleeObj != nil && e.CalleeObj.Pkg() != p.Pkg:
+					if cd, ok := external(p, e.CalleeObj); ok {
+						d = viaDetail(p, e, cd)
+					}
+				}
+				if d != "" {
+					details[n] = d
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, n := range p.Graph.Nodes {
+		if n.Obj != nil {
+			if d := details[n]; d != "" {
+				p.Facts.Export(fp.fact, ObjKey(n.Obj), d)
+			}
+		}
+	}
+	return details
+}
+
+// viaDetail renders a propagated provenance. The root detail is preserved
+// so a diagnostic three wrappers deep still names the originating call:
+// "via helper.clockNow: time.Now at util.go:12".
+func viaDetail(p *Pass, e CallEdge, calleeDetail string) string {
+	if strings.HasPrefix(calleeDetail, "via ") {
+		return calleeDetail // keep the original root, not the whole chain
+	}
+	return fmt.Sprintf("via %s: %s", edgeDisplay(p, e), calleeDetail)
+}
+
+// edgeDisplay names an edge's callee for humans.
+func edgeDisplay(p *Pass, e CallEdge) string {
+	if e.CalleeObj != nil {
+		return FuncDisplayName(ObjKey(e.CalleeObj))
+	}
+	if e.Callee != nil && e.Callee.Lit != nil {
+		return fmt.Sprintf("a function literal at %s", p.Fset.Position(e.Callee.Lit.Pos()))
+	}
+	return "a function value"
+}
+
+// nodeBodyInspect walks the AST lexically owned by node — its body minus
+// any nested function literal, which is its own call-graph node — and
+// invokes fn on every visited node.
+func nodeBodyInspect(node *FuncNode, fn func(n ast.Node) bool) {
+	body := node.Body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			fn(n) // visible as a value (capture analysis), but not descended
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -43,6 +44,11 @@ func newInfo() *types.Info {
 // contracts target production code, and the timing/randomness latitude
 // tests legitimately need would otherwise drown the signal.
 //
+// Packages are returned in dependency order (imports before importers,
+// ties broken by import path), which is what lets analyzer facts exported
+// while inspecting a dependency be complete before any caller of it is
+// inspected — the multichecker's package load order contract.
+//
 // Type checking uses the standard library's source importer, so the loader
 // works offline with no dependencies beyond the go toolchain itself.
 func Load(patterns ...string) ([]*Package, error) {
@@ -53,6 +59,7 @@ func Load(patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	metas = topoSort(metas)
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
 	var pkgs []*Package
@@ -86,10 +93,57 @@ func Load(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// overlayImporter resolves the fake import paths of golden packages to the
+// types.Packages already checked in this load, delegating everything else
+// (the standard library) to the source importer. This is what lets a golden
+// package import a sibling golden package, so the interprocedural analyzers
+// can be tested across a package boundary.
+type overlayImporter struct {
+	overlay map[string]*types.Package
+	base    types.Importer
+}
+
+func (oi *overlayImporter) Import(path string) (*types.Package, error) {
+	if p, ok := oi.overlay[path]; ok {
+		return p, nil
+	}
+	return oi.base.Import(path)
+}
+
+// LoadDirs parses and type-checks several golden packages in the order
+// given, each rooted at testdata dir dirs[i] under fake import path
+// paths[i]. Earlier packages are importable by later ones (under their fake
+// paths), mirroring the dependency-ordered load of the real driver.
+func LoadDirs(dirs, paths []string) ([]*Package, error) {
+	if len(dirs) != len(paths) {
+		return nil, fmt.Errorf("analysis: LoadDirs: %d dirs vs %d paths", len(dirs), len(paths))
+	}
+	fset := token.NewFileSet()
+	oi := &overlayImporter{
+		overlay: make(map[string]*types.Package),
+		base:    importer.ForCompiler(fset, "source", nil),
+	}
+	var pkgs []*Package
+	for i, dir := range dirs {
+		pkg, err := loadDirWith(fset, oi, dir, paths[i])
+		if err != nil {
+			return nil, err
+		}
+		oi.overlay[pkg.PkgPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
 // LoadDir parses and type-checks the single package rooted at dir under the
 // given (possibly fake) import path — the analysistest entry point for
 // golden packages that live outside the module's build graph.
 func LoadDir(dir, pkgPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	return loadDirWith(fset, importer.ForCompiler(fset, "source", nil), dir, pkgPath)
+}
+
+func loadDirWith(fset *token.FileSet, imp types.Importer, dir, pkgPath string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -105,7 +159,6 @@ func LoadDir(dir, pkgPath string) (*Package, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range names {
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -114,7 +167,7 @@ func LoadDir(dir, pkgPath string) (*Package, error) {
 		}
 		files = append(files, f)
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	conf := types.Config{Importer: imp}
 	info := newInfo()
 	tpkg, err := conf.Check(pkgPath, fset, files, info)
 	if err != nil {
@@ -134,24 +187,60 @@ type listMeta struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
+}
+
+// topoSort orders packages dependency-first: every package appears after
+// all of its imports that are part of the same load. Children are visited
+// in sorted order, so the result is a pure function of the package set.
+func topoSort(metas []listMeta) []listMeta {
+	byPath := make(map[string]*listMeta, len(metas))
+	for i := range metas {
+		byPath[metas[i].ImportPath] = &metas[i]
+	}
+	paths := make([]string, 0, len(metas))
+	for _, m := range metas {
+		paths = append(paths, m.ImportPath)
+	}
+	sort.Strings(paths)
+	seen := make(map[string]bool, len(metas))
+	var out []listMeta
+	var visit func(path string)
+	visit = func(path string) {
+		m, ok := byPath[path]
+		if !ok || seen[path] {
+			return
+		}
+		seen[path] = true
+		deps := append([]string(nil), m.Imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			visit(d)
+		}
+		out = append(out, *m)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return out
 }
 
 // goList shells out to the go command to expand package patterns; it is the
 // only process the analysis layer spawns.
 func goList(patterns []string) ([]listMeta, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Imports"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	var metas []listMeta
 	for {
 		var m listMeta
-		if err := dec.Decode(&m); err == io.EOF {
+		if err := dec.Decode(&m); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("decoding go list output: %w", err)

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSharedstateFlagging(t *testing.T) {
+	RunGolden(t, Sharedstate, "sharedstate/a")
+}

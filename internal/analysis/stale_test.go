@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+// TestStaleAllows is the golden harness for gapvet -stale-allows: the full
+// suite runs, a live allow stays silent, and an allow whose finding has
+// been fixed out from under it becomes the finding.
+func TestStaleAllows(t *testing.T) {
+	RunGoldenStale(t, "suppress/stale")
+}

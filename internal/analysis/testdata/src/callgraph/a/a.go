@@ -1,0 +1,34 @@
+// Package a is the call-graph unit fixture: one construct per resolution
+// rule. callgraph_test.go pins node order and per-edge resolution against
+// this file by function name, so positions here are load-bearing only in
+// their relative order.
+package a
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+type ticker interface{ tick() }
+
+func freeFn() {}
+
+func callsFree() { freeFn() }
+
+func callsMethod(c *counter) { c.bump() }
+
+func callsIface(t ticker) { t.tick() }
+
+func callsLitVar() {
+	f := func() { freeFn() }
+	f()
+}
+
+func callsIIFE() {
+	func() { freeFn() }()
+}
+
+func reassigned() {
+	f := func() {}
+	f = func() { freeFn() }
+	f()
+}

@@ -1,0 +1,27 @@
+// Package lp pins ctxflow's delegation rule: a zero-options convenience
+// wrapper is compliant when it delegates to an exported entry-point
+// overload that can receive a context, and an entry point reaching only
+// ctx-less internal code is still flagged.
+package lp
+
+import "context"
+
+type Result struct{ ok bool }
+
+// Options carries the context as a field — the options-struct shape.
+type Options struct{ Ctx context.Context }
+
+// SolveWith has direct context access via its options parameter.
+func SolveWith(o Options) *Result { return &Result{ok: true} }
+
+// Solve is the zero-options wrapper: no context of its own, but it
+// delegates to an exported overload that has one. Clean.
+func Solve() *Result { return SolveWith(Options{}) }
+
+// RunBare reaches only an unexported ctx-less helper; delegation to
+// internal code does not discharge the contract.
+func RunBare() *Result { // want "exported entry point RunBare takes no context.Context"
+	return runInner()
+}
+
+func runInner() *Result { return &Result{} }

@@ -1,0 +1,19 @@
+// Package caller is the importing half of the interprocedural detrand
+// golden pair: calls into util functions carrying the "draws-global-rand"
+// fact are findings at the call site, so a helper cannot launder a global
+// draw across a package boundary.
+package caller
+
+import "gapvet/detrand/util"
+
+func UseDraw() int {
+	return util.Draw() // want "call to util.Draw draws from global math/rand"
+}
+
+func UseDoubleWrap() int {
+	return util.DoubleWrap() // want "call to util.DoubleWrap draws from global math/rand .via util.Draw: math/rand.Intn at "
+}
+
+func UseSanctioned() int {
+	return util.Sanctioned() // clean: the allow at the draw sanctions the chain
+}

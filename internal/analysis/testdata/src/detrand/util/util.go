@@ -1,0 +1,22 @@
+// Package util is the dependency half of the interprocedural detrand
+// golden pair: the global draw is flagged here at its source, and the
+// "draws-global-rand" fact it exports makes every cross-package caller's
+// call site a finding too.
+package util
+
+import "math/rand"
+
+func Draw() int {
+	return rand.Intn(10) // want "use of global math/rand.Intn"
+}
+
+// DoubleWrap adds a hop. Same-package calls are not re-flagged — the draw
+// above already was — but the fact still propagates out.
+func DoubleWrap() int { return Draw() }
+
+// Sanctioned documents its draw, which suppresses the fact: callers are
+// clean.
+func Sanctioned() int {
+	//gapvet:allow detrand golden file: sanctioned bootstrap shuffle
+	return rand.Intn(10)
+}

@@ -1,0 +1,75 @@
+// Package a exercises errcontract: sentinel identity goes through
+// errors.Is, typed recovery through errors.As, wrapping through %w, and
+// error text is never matched.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var ErrStall = errors.New("stall detected")
+
+type VersionError struct{ Want, Got int }
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("basis version: want %d got %d", e.Want, e.Got)
+}
+
+func CompareEq(err error) bool {
+	return err == ErrStall // want "sentinel error a.ErrStall compared with =="
+}
+
+func CompareNeq(err error) bool {
+	return err != ErrStall // want "sentinel error a.ErrStall compared with !="
+}
+
+func CompareIs(err error) bool { return errors.Is(err, ErrStall) }
+
+func NilCheck(err error) bool { return err != nil }
+
+func Assert(err error) (*VersionError, bool) {
+	ve, ok := err.(*VersionError) // want "type assertion on an error; use errors.As"
+	return ve, ok
+}
+
+func AsRecover(err error) (*VersionError, bool) {
+	var ve *VersionError
+	ok := errors.As(err, &ve)
+	return ve, ok
+}
+
+func Switch(err error) int {
+	switch err.(type) {
+	case *VersionError: // want "type switch on an error with concrete case"
+		return 1
+	default:
+		return 0
+	}
+}
+
+func WrapFlat(err error) error {
+	return fmt.Errorf("solve failed: %v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+func WrapKeep(err error) error {
+	return fmt.Errorf("solve failed: %w", err)
+}
+
+func FormatNoError(n int) error {
+	return fmt.Errorf("bad count %d", n) // clean: nothing to wrap
+}
+
+func TextSearch(err error) bool {
+	return strings.Contains(err.Error(), "stall") // want "error text matched with strings.Contains"
+}
+
+func TextEq(err error) bool {
+	return err.Error() == "stall detected" // want "error text compared with =="
+}
+
+func Allowed(err error) bool {
+	//gapvet:allow errcontract golden file: identity intentionally exact at the fault boundary
+	return err == ErrStall
+}

@@ -1,0 +1,107 @@
+// Package a exercises hotalloc within one package: only functions
+// annotated //gapvet:hotpath carry the no-allocation obligation, and every
+// allocation class the analyzer knows has a sanctioned counterpart.
+package a
+
+import "fmt"
+
+type solver struct {
+	buf []float64
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func AppendNoEvidence(x float64) []float64 {
+	var out []float64
+	out = append(out, x) // want "append to out without preallocation evidence"
+	return out
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func AppendWithMake(n int, x float64) []float64 {
+	out := make([]float64, 0, n)
+	out = append(out, x)
+	return out
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func AppendReuse(buf []float64, x float64) []float64 {
+	return append(buf[:0], x)
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func (s *solver) AppendToReceiver(x float64) {
+	s.buf = append(s.buf, x)
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func Literals(k string) int {
+	m := map[string]int{k: 1} // want "map literal in hotpath function Literals"
+	sl := []int{1, 2}         // want "slice literal in hotpath function Literals"
+	return m[k] + sl[0]
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func Stringify(x float64) string {
+	return fmt.Sprintf("%v", x) // want "fmt.Sprintf call in hotpath function Stringify"
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func Capture(n int) func() int {
+	return func() int { return n } // want "function literal capturing n"
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func NoCapture() func() int {
+	return func() int { return 42 }
+}
+
+func box(v any) {}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func Boxes(x int) {
+	box(x) // want "interface boxing of argument x"
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func NoBox(v any) {
+	box(v) // clean: already an interface, no boxing at this site
+}
+
+func allocHelper() []int {
+	var xs []int
+	xs = append(xs, 1)
+	return xs
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func CallsHelper() []int {
+	return allocHelper() // want "call to a.allocHelper allocates"
+}
+
+func cleanHelper(dst []int) []int { return append(dst, 1) }
+
+//gapvet:hotpath golden file: per-pivot kernel
+func CallsClean(dst []int) []int { return cleanHelper(dst) }
+
+//gapvet:hotpath golden file: per-pivot kernel
+func Amortized() []int {
+	var xs []int
+	//gapvet:allow hotalloc golden file: amortized growth audited
+	xs = append(xs, 1)
+	return xs
+}
+
+func sanctionedHelper() []int {
+	var xs []int
+	//gapvet:allow hotalloc golden file: startup-only growth
+	xs = append(xs, 1)
+	return xs
+}
+
+//gapvet:hotpath golden file: per-pivot kernel
+func CallsSanctioned() []int { return sanctionedHelper() }
+
+// FreeAlloc has no annotation: it may allocate at will.
+func FreeAlloc() []int {
+	return []int{1, 2, 3}
+}

@@ -1,0 +1,12 @@
+// Package hot is the importing half of the cross-package hotalloc golden
+// pair: its annotated function calls into util, and the "allocates" fact
+// makes the Format call a finding while Scale stays clean.
+package hot
+
+import "gapvet/hotalloc/util"
+
+//gapvet:hotpath golden file: per-pivot kernel
+func Kernel(x float64) float64 {
+	_ = util.Format(x) // want "call to util.Format allocates .fmt.Sprintf call at "
+	return util.Scale(x)
+}

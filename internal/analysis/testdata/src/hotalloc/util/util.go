@@ -1,0 +1,11 @@
+// Package util is the dependency half of the cross-package hotalloc golden
+// pair: Format allocates (fmt.Sprintf), exporting an "allocates" fact the
+// importing hot package's annotated function trips over.
+package util
+
+import "fmt"
+
+func Format(x float64) string { return fmt.Sprintf("%v", x) }
+
+// Scale is allocation-free; callers are clean.
+func Scale(x float64) float64 { return 2 * x }

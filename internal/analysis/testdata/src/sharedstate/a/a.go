@@ -1,0 +1,126 @@
+// Package a exercises sharedstate: goroutine-launched closures may read
+// captured state freely, but writes must be mutex-guarded or the results
+// handed back over a channel; deliberately disjoint slot writes carry an
+// allow naming the safety argument.
+package a
+
+import "sync"
+
+func UnguardedWrite() int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			total++ // want "goroutine closure writes captured variable total"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func GuardedWrite() int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func DeferGuardedWrite() int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			total++
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func UnlockThenWrite() int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		total++
+		mu.Unlock()
+		total++ // want "goroutine closure writes captured variable total"
+	}()
+	wg.Wait()
+	return total
+}
+
+func ChannelOwned() int {
+	out := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func(k int) {
+			defer wg.Done()
+			out <- k // clean: channel sends are the sanctioned hand-back
+		}(i)
+	}
+	wg.Wait()
+	return <-out + <-out
+}
+
+func WorkerLocal() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		local := 0
+		local++ // clean: declared inside the closure
+		_ = local
+	}()
+	wg.Wait()
+}
+
+func SlotWrite() []int {
+	results := make([]int, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func(k int) {
+			defer wg.Done()
+			results[k] = k * k // want "goroutine closure writes captured variable results"
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+func SlotWriteAllowed() []int {
+	results := make([]int, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func(k int) {
+			defer wg.Done()
+			//gapvet:allow sharedstate golden file: each worker owns slot k exclusively
+			results[k] = k * k
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

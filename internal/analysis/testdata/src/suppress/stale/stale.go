@@ -1,0 +1,18 @@
+// Package stale exercises -stale-allows: an allow that still silences a
+// finding is live; one whose finding has been fixed out from under it is
+// reported, so suppressions cannot outlive the deviations they documented.
+package stale
+
+import "math/rand"
+
+func Live() int {
+	//gapvet:allow detrand golden file: sanctioned bootstrap draw
+	return rand.Intn(10)
+}
+
+// Fixed draws from an injected RNG — the deviation its allow once
+// documented is gone, so the allow itself is now the finding.
+func Fixed(r *rand.Rand) int {
+	//gapvet:allow detrand golden file: the draw this silenced is gone // want "stale suppression: //gapvet:allow detrand no longer silences any finding"
+	return r.Intn(10)
+}

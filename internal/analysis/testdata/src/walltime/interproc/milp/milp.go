@@ -1,0 +1,32 @@
+// Package milp is the denied half of the interprocedural walltime golden
+// pair: its path tail puts it on the denied list, so calls into util
+// functions that carry the "calls-wall-clock" fact are findings at the
+// call site — wrapping time.Now in a helper package no longer hides it.
+package milp
+
+import (
+	"time"
+
+	"gapvet/walltime/util"
+)
+
+func UseWrapped() time.Time {
+	return util.StampNow() // want "call to util.StampNow reads the wall clock"
+}
+
+func UseDoubleWrapped() time.Time {
+	return util.Wrapped() // want "call to util.Wrapped reads the wall clock .via util.StampNow: time.Now at "
+}
+
+func UseDeadline(d time.Time) bool {
+	return util.Deadline(d) // clean: deadline guards carry no fact
+}
+
+func UseSanctioned() time.Time {
+	return util.Sanctioned() // clean: the allow at the read sanctions the chain
+}
+
+func AllowedCall() time.Time {
+	//gapvet:allow walltime golden file: latency stamp for reporting only
+	return util.StampNow()
+}

@@ -1,0 +1,26 @@
+// Package util is the dependency half of the interprocedural walltime
+// golden pair: a non-denied utility package that wraps clock reads. No
+// findings land here — util is not on the denied list — but StampNow and
+// Wrapped export "calls-wall-clock" facts that the importing milp golden
+// package trips over at its call sites.
+package util
+
+import "time"
+
+// StampNow wraps a bare clock read one level deep.
+func StampNow() time.Time { return time.Now() }
+
+// Wrapped wraps it a second level; provenance must still name the root
+// time.Now, not just the intermediate hop.
+func Wrapped() time.Time { return StampNow() }
+
+// Deadline is the sanctioned structural shape — a clock read feeding only
+// an After guard — and must carry no fact.
+func Deadline(d time.Time) bool { return time.Now().After(d) }
+
+// Sanctioned documents its clock read with an allow, which sanctions the
+// whole call chain: callers in denied packages stay clean.
+func Sanctioned() time.Time {
+	//gapvet:allow walltime golden file: sanctioned timing context for reporting
+	return time.Now()
+}

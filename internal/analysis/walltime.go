@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 )
 
@@ -17,11 +18,20 @@ import (
 //     every deliberate wall-clock dependency (latency budgets, the paper's
 //     stall rule, elapsed-time reporting) at the point it happens.
 //
+// The analyzer is interprocedural: every package (except the obs timing
+// layer, whose clock reads are its purpose) exports a "calls-wall-clock"
+// fact for each function that transitively reaches an unguarded,
+// unannotated clock read — through helpers, methods, and assigned-once
+// function literals alike. A denied package then flags any call into a
+// non-denied package whose target carries the fact, so wrapping time.Now
+// one helper deep in a utility package no longer hides it.
+//
 // The obs package (the timing layer itself), the experiments harness, test
-// files, and the CLIs are out of scope.
+// files, and the CLIs are out of scope for direct findings; obs is also
+// fact-exempt, which is what keeps tracer.Emit timestamps sanctioned.
 var Walltime = &Analyzer{
 	Name: "walltime",
-	Doc:  "flags time.Now/time.Since in solver packages outside deadline guards and annotated timing contexts",
+	Doc:  "flags time.Now/time.Since in solver packages outside deadline guards and annotated timing contexts, including wall-clock reads wrapped in helpers (interprocedural)",
 	Run:  runWalltime,
 }
 
@@ -44,13 +54,25 @@ var walltimeDenied = map[string]bool{
 	"topology":   true,
 }
 
+// walltimeFactExempt names the packages whose clock reads never generate
+// facts: obs is the sanctioned timing layer — every tracer timestamp and
+// phase stopwatch lives there by design, and propagating facts out of it
+// would flag every Emit call in the solvers.
+var walltimeFactExempt = map[string]bool{
+	"obs": true,
+}
+
 func runWalltime(p *Pass) error {
-	if !walltimeDenied[pkgTail(p.Pkg.Path())] {
+	tail := pkgTail(p.Pkg.Path())
+	if walltimeFactExempt[tail] {
 		return nil
 	}
+	denied := walltimeDenied[tail]
+
+	// Structural pass: collect clock reads that only feed a deadline guard.
+	guarded := make(map[*ast.CallExpr]bool)
+	clockReads := make(map[*ast.CallExpr]string) // unguarded read -> "Now"/"Since"
 	for _, f := range p.Files {
-		// First pass: collect clock reads that only feed a deadline guard.
-		guarded := make(map[*ast.CallExpr]bool)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -79,9 +101,63 @@ func runWalltime(p *Pass) error {
 			if guarded[call] {
 				return true
 			}
-			p.Reportf(call.Pos(), "time.%s in solver package %q; wall clock must not shape results — use a deadline guard or annotate the timing context", name, p.Pkg.Path())
+			clockReads[call] = name
+			if denied {
+				p.Reportf(call.Pos(), "time.%s in solver package %q; wall clock must not shape results — use a deadline guard or annotate the timing context", name, p.Pkg.Path())
+			}
 			return true
 		})
+	}
+
+	// Fact generation: a function owns a clock read when an unguarded,
+	// unannotated time.Now/Since sits lexically in its body (nested
+	// literals belong to their own nodes); the fact then propagates
+	// through every statically resolved call edge.
+	factProp{
+		fact: FactWallClock,
+		direct: func(n *FuncNode) string {
+			detail := ""
+			nodeBodyInspect(n, func(nd ast.Node) bool {
+				if detail != "" {
+					return false
+				}
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, isRead := clockReads[call]
+				if !isRead || p.Allowed("walltime", call.Pos()) {
+					return true
+				}
+				detail = fmt.Sprintf("time.%s at %s", name, p.Fset.Position(call.Pos()))
+				return false
+			})
+			return detail
+		},
+	}.run(p)
+
+	if !denied {
+		return nil
+	}
+
+	// Interprocedural flagging: calls out of a denied package into a
+	// non-denied one whose target reaches the clock. Calls whose target is
+	// in a denied package are not re-flagged — the originating read was
+	// flagged there directly.
+	for _, node := range p.Graph.Nodes {
+		for _, e := range node.Out {
+			fn := e.CalleeObj
+			if fn == nil || fn.Pkg() == nil || fn.Pkg() == p.Pkg {
+				continue
+			}
+			if walltimeDenied[pkgTail(fn.Pkg().Path())] {
+				continue
+			}
+			if prov, ok := p.Facts.Lookup(FactWallClock, ObjKey(fn)); ok {
+				p.Reportf(e.Site.Pos(), "call to %s reads the wall clock (%s); wall clock must not shape results in solver package %q — use a deadline guard or annotate the timing context",
+					FuncDisplayName(ObjKey(fn)), prov, p.Pkg.Path())
+			}
+		}
 	}
 	return nil
 }

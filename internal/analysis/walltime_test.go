@@ -16,3 +16,11 @@ func TestWalltimeNonDeniedPackage(t *testing.T) {
 func TestWalltimeBenchstore(t *testing.T) {
 	RunGolden(t, Walltime, "walltime/benchstore")
 }
+
+// TestWalltimeInterprocedural pins the fact path: util wraps time.Now one
+// and two levels deep, and the denied milp golden package is flagged at
+// its call sites — including provenance that names the root read — while
+// deadline guards and annotated reads propagate no fact.
+func TestWalltimeInterprocedural(t *testing.T) {
+	RunGoldenMulti(t, Walltime, "walltime/util", "walltime/interproc/milp")
+}

@@ -457,10 +457,20 @@ func (pr *DPGapProblem) polisher(b *dpBuild) func(x []float64) (float64, []float
 // turn, is what lets milp.Solve call polish from concurrent workers (see
 // milp.Options.Polish's concurrency contract) — the mutex makes the cache
 // safe and the purity makes the schedule irrelevant.
+//
+// Fresh keys are computed single-flight: the first caller owns the solve,
+// concurrent callers of the same key wait for its result instead of
+// re-solving. Beyond saving the duplicate work, this pins the *number* of
+// underlying LP solves to the set of unique keys priced — a pure function
+// of the search tree — so solver-call counters in the bench registry are
+// schedule-independent at any worker count. (The one remaining schedule
+// dependence is FIFO eviction past max; the polish workloads stay far
+// under it.)
 type priceCache struct {
 	mu      sync.Mutex
 	max     int
 	entries map[string]priceEntry
+	pending map[string]chan struct{}
 	fifo    []string
 }
 
@@ -470,7 +480,11 @@ type priceEntry struct {
 }
 
 func newPriceCache(max int) *priceCache {
-	return &priceCache{max: max, entries: make(map[string]priceEntry, max)}
+	return &priceCache{
+		max:     max,
+		entries: make(map[string]priceEntry, max),
+		pending: make(map[string]chan struct{}),
+	}
 }
 
 func (c *priceCache) key(d []float64) string {
@@ -484,30 +498,46 @@ func (c *priceCache) key(d []float64) string {
 	return string(buf)
 }
 
-// price returns f(d), memoized. Concurrent callers may both compute f for
-// the same fresh key; f must be deterministic, so whichever result lands in
-// the cache equals the other and the race is benign (the cost is one extra
-// solve, never a different answer).
+// price returns f(d), memoized and single-flight: exactly one caller
+// computes f per fresh key while concurrent callers of that key block on
+// its completion and then read the cached result. f must be deterministic
+// — the waiters return the owner's answer as their own.
 func (c *priceCache) price(d []float64, f func([]float64) (float64, bool)) (float64, bool) {
 	k := c.key(d)
-	c.mu.Lock()
-	if e, hit := c.entries[k]; hit {
-		c.mu.Unlock()
-		return e.gap, e.ok
-	}
-	c.mu.Unlock()
-	gap, ok := f(d)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, hit := c.entries[k]; !hit {
-		if len(c.fifo) >= c.max {
-			delete(c.entries, c.fifo[0])
-			c.fifo = c.fifo[1:]
+	for {
+		c.mu.Lock()
+		if e, hit := c.entries[k]; hit {
+			c.mu.Unlock()
+			return e.gap, e.ok
 		}
-		c.entries[k] = priceEntry{gap: gap, ok: ok}
-		c.fifo = append(c.fifo, k)
+		if ch, inflight := c.pending[k]; inflight {
+			c.mu.Unlock()
+			<-ch
+			// The owner has published the entry; re-read it. (If eviction
+			// churn already dropped it, the loop recomputes — correctness
+			// never depends on the entry surviving.)
+			continue
+		}
+		ch := make(chan struct{})
+		c.pending[k] = ch
+		c.mu.Unlock()
+
+		gap, ok := f(d)
+
+		c.mu.Lock()
+		if _, hit := c.entries[k]; !hit {
+			if len(c.fifo) >= c.max {
+				delete(c.entries, c.fifo[0])
+				c.fifo = c.fifo[1:]
+			}
+			c.entries[k] = priceEntry{gap: gap, ok: ok}
+			c.fifo = append(c.fifo, k)
+		}
+		delete(c.pending, k)
+		close(ch)
+		c.mu.Unlock()
+		return gap, ok
 	}
-	return gap, ok
 }
 
 // verify recomputes OPT and DP at the found demands with the direct solvers.

@@ -374,4 +374,4 @@ type SolveOptions struct {
 // Solve solves the problem with default options.
 //
 //gapvet:allow tracecover zero-options convenience wrapper; SolveWith accepts the tracer
-func (p *Problem) Solve() (*Solution, error) { return p.SolveWith(SolveOptions{}) } //gapvet:allow ctxflow zero-options convenience wrapper; SolveWith accepts the context
+func (p *Problem) Solve() (*Solution, error) { return p.SolveWith(SolveOptions{}) }

@@ -61,6 +61,8 @@ func buildCSC(s *stdForm) *cscMatrix {
 }
 
 // scatter adds column j into the dense row-space vector x.
+//
+//gapvet:hotpath inner loop of every FTRAN column build
 func (c *cscMatrix) scatter(j int, x []float64) {
 	for k := c.colPtr[j]; k < c.colPtr[j+1]; k++ {
 		x[c.rowIdx[k]] += c.val[k]
@@ -68,6 +70,8 @@ func (c *cscMatrix) scatter(j int, x []float64) {
 }
 
 // dot returns ρᵀA_j for a dense row-space vector ρ.
+//
+//gapvet:hotpath called n times per pivot row and per cost reset
 func (c *cscMatrix) dot(j int, rho []float64) float64 {
 	s := 0.0
 	for k := c.colPtr[j]; k < c.colPtr[j+1]; k++ {
@@ -206,6 +210,8 @@ func (lu *luFactor) factorize(a *cscMatrix, cols []int) bool {
 
 // ftran solves B·z = v. v is row-space input, z position-space output; the
 // two may alias distinct buffers of the caller. v is left zeroed.
+//
+//gapvet:hotpath one FTRAN per pivot and per pricing probe; a heap allocation here multiplies into millions per search
 func (lu *luFactor) ftran(v, z []float64) {
 	m := lu.m
 	// Forward: y_k = v[p_k] after applying earlier L columns.
@@ -249,6 +255,8 @@ func (lu *luFactor) ftran(v, z []float64) {
 
 // btran solves Bᵀ·y = c. c is position-space input (consumed: left zeroed),
 // y row-space output.
+//
+//gapvet:hotpath one BTRAN per pivot; a heap allocation here multiplies into millions per search
 func (lu *luFactor) btran(c, y []float64) {
 	m := lu.m
 	// Eta transposes, newest first: (Eᵀv)[pr] = (v[pr] − Σ d_i·v_i)/d_pr.
@@ -286,9 +294,21 @@ func (lu *luFactor) btran(c, y []float64) {
 }
 
 // appendEta absorbs the pivot (position pr, entering representation d) into
-// the eta file. d is position-space and not retained.
+// the eta file. d is position-space and not retained. The nonzeros are
+// counted first so both eta arrays are sized exactly — one pass of
+// arithmetic buys out the append regrowth copies on every pivot.
+//
+//gapvet:hotpath one eta append per pivot; regrowth copies here were visible in ns/pivot
 func (lu *luFactor) appendEta(pr int, d []float64) {
+	nz := 0
+	for i, v := range d {
+		if v != 0 && i != pr {
+			nz++
+		}
+	}
 	et := eta{pr: int32(pr), invPiv: 1 / d[pr]}
+	et.idx = make([]int32, 0, nz)
+	et.val = make([]float64, 0, nz)
 	for i, v := range d {
 		if v != 0 && i != pr {
 			et.idx = append(et.idx, int32(i))

@@ -27,6 +27,8 @@ const devexResetBound = 1e10
 // priceDevex selects the entering column maximizing r_j²/γ_j over the
 // negative-reduced-cost candidates, or -1 at optimality. Ascending scan with
 // a strict maximum keeps the choice deterministic.
+//
+//gapvet:hotpath full column scan once per pivot under devex
 func (sp *sparseSolver) priceDevex() int {
 	best, bestScore := -1, 0.0
 	for j := 0; j < sp.s.n; j++ {
@@ -48,6 +50,8 @@ func (sp *sparseSolver) priceDevex() int {
 // using the pivot row α already computed for the reduced-cost update. Called
 // from pivotApply before the basis swap, so sp.basis[pr] is still the
 // leaving column.
+//
+//gapvet:hotpath full column scan once per pivot under devex
 func (sp *sparseSolver) devexUpdate(pr, pc int, invPiv float64) {
 	if sp.gamma == nil {
 		sp.devexReset()

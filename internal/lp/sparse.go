@@ -114,12 +114,16 @@ func (sp *sparseSolver) factorize() bool {
 }
 
 // computeXB sets the basic values to B⁻¹b from the pristine right-hand side.
+//
+//gapvet:hotpath runs after every refactorization
 func (sp *sparseSolver) computeXB() {
 	copy(sp.rowBuf, sp.s.b)
 	sp.lu.ftran(sp.rowBuf, sp.xB)
 }
 
 // ftranCol computes d = B⁻¹·A_j into sp.d.
+//
+//gapvet:hotpath one per pivot
 func (sp *sparseSolver) ftranCol(j int) {
 	sp.a.scatter(j, sp.rowBuf)
 	sp.lu.ftran(sp.rowBuf, sp.d)
@@ -127,6 +131,8 @@ func (sp *sparseSolver) ftranCol(j int) {
 
 // btranRow computes the pivot row of position pr: ρ = B⁻ᵀe_pr into sp.rho
 // and α_j = ρᵀA_j for every column into sp.alpha.
+//
+//gapvet:hotpath one per pivot
 func (sp *sparseSolver) btranRow(pr int) {
 	sp.posBuf[pr] = 1
 	sp.lu.btran(sp.posBuf, sp.rho)
@@ -170,6 +176,8 @@ func (sp *sparseSolver) resetCosts(c []float64) {
 // basis change is absorbed into the eta file, refactorizing when full.
 // Returns the leaving column and 1/pivot for callers that maintain a
 // secondary cost row (tiebreak).
+//
+//gapvet:hotpath the per-pivot state update; allocation here is the ns/pivot budget's whole margin
 func (sp *sparseSolver) pivotApply(pr, pc int) (leaving int, invPiv float64) {
 	s := sp.s
 	piv := sp.d[pr]
@@ -271,6 +279,8 @@ func (sp *sparseSolver) run() Status {
 
 // price selects the entering column, or -1 at optimality. The Dantzig path
 // is byte-identical to the dense rule; devex is the opt-in alternative.
+//
+//gapvet:hotpath full column scan once per pivot
 func (sp *sparseSolver) price(bland bool) int {
 	if sp.pricing == PricingDevex && !bland {
 		return sp.priceDevex()
@@ -297,6 +307,8 @@ func (sp *sparseSolver) price(bland bool) int {
 // ratio selects the leaving position for the entering column held in sp.d,
 // or -1 if unbounded. Identical rule and tie-breaks to tableau.ratio —
 // positions are dense tableau rows, so even the scan order matches.
+//
+//gapvet:hotpath full row scan once per pivot
 func (sp *sparseSolver) ratio() int {
 	s := sp.s
 	best := -1

@@ -515,6 +515,10 @@ func runSearch(m *Model, opts Options, resume *checkpoint.BnBState) (*Result, er
 						if i >= len(wave) {
 							return
 						}
+						// Disjoint-slot writes: the atomic cursor hands each worker a
+						// unique index, results is preallocated to len(wave), and no
+						// slot is written twice — safety lives in the indexing, not a lock.
+						//gapvet:allow sharedstate disjoint slots; atomic cursor assigns each index to exactly one worker
 						results[i] = runNode(waveNo, i, wave[i], waveIncumbent)
 					}
 				}()
