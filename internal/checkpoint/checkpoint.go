@@ -24,6 +24,11 @@ import (
 type Snapshot struct {
 	BnB      *BnBState
 	Blackbox *BlackboxState
+	// Queue is the gap-search daemon's job queue (cmd/gapserved): the
+	// admission ledger that survives restarts so queued and in-flight jobs
+	// are re-run (and resumed from their own BnB snapshots) after a crash
+	// or drain.
+	Queue *QueueState
 }
 
 // Override is one branch-and-bound bound fixing, keyed by the LP variable
@@ -59,6 +64,19 @@ type TracePoint struct {
 // exactly where it stopped: the incumbent, the open-node frontier with
 // warm-start bases, the effort counters, and the wave cursor. Incumbent and
 // BestBound are in the solver's internal score space (dir * objective).
+//
+// Portability contract: the state pins only what determines the explored
+// tree — the model shape and the resolved Batch/DepthFirst (via
+// Fingerprint). It deliberately does NOT pin Workers, the LP engine, the
+// pricing rule, or the warm-start flag: all of those change how node
+// relaxations are computed, never their answers, so a snapshot written
+// under `-engine dense -workers 4` resumes under `-engine sparse
+// -workers 1` (or any other combination) and still replays to the
+// bit-identical incumbent, bound, and node count of the uninterrupted run.
+// The frontier's warm-start basis blobs are engine-portable for the same
+// reason (lp's basis wire codec round-trips across engines); an unusable
+// blob only degrades that node to a cold solve. Sealed by
+// TestCrossEngineResume in internal/milp.
 type BnBState struct {
 	// Fingerprint hashes the model shape and the tree-determining options
 	// (resolved batch, depth-first flag); Resume refuses a state whose
@@ -102,6 +120,45 @@ type BlackboxState struct {
 	Seeds        []int64
 	ElapsedNanos int64
 	Completed    []RestartState
+}
+
+// JobState enumerates a queued job's lifecycle in the persisted queue.
+// Running jobs are persisted as JobQueued: after a crash or drain they are
+// re-admitted and resume from their own checkpoint file, which is exactly
+// the semantics of a job that never started.
+type JobState uint8
+
+const (
+	// JobQueued means the job is waiting for (or, in the live daemon,
+	// currently occupying) a worker; it re-runs after a restart.
+	JobQueued JobState = iota
+	// JobDone means a result was persisted to the results store; kept in
+	// the ledger so restarts preserve job IDs and their terminal status.
+	JobDone
+	// JobFailed means the job errored terminally (bad spec survived
+	// admission, or the solver returned an error); it does not re-run.
+	JobFailed
+)
+
+// JobRecord is one job in the daemon's persisted queue. Spec is the job's
+// canonical JSON (opaque to this package), Key the solve cache key its
+// results store entry is filed under, Seq the admission order (restart
+// re-enqueues in Seq order so the replayed schedule matches the original),
+// and EnqueuedUnixNano the wall-clock admission time (informational only).
+type JobRecord struct {
+	ID               string
+	Seq              uint64
+	State            JobState
+	Key              uint64
+	Spec             string
+	EnqueuedUnixNano int64
+}
+
+// QueueState is the daemon's durable job ledger: the admission sequence
+// counter and every job it has accepted, in admission order.
+type QueueState struct {
+	NextSeq uint64
+	Jobs    []JobRecord
 }
 
 // MismatchError reports a checkpoint that structurally cannot resume the

@@ -1,0 +1,90 @@
+package checkpoint
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func sampleQueue() *Snapshot {
+	return &Snapshot{Queue: &QueueState{
+		NextSeq: 5,
+		Jobs: []JobRecord{
+			{ID: "j000001", Seq: 1, State: JobDone, Key: 0xfeedface, Spec: `{"topology":"b4","heuristic":"dp"}`, EnqueuedUnixNano: 1700000000000000001},
+			{ID: "j000002", Seq: 2, State: JobQueued, Key: 0x1234, Spec: `{"topology":"swan","heuristic":"pop"}`, EnqueuedUnixNano: 1700000000000000002},
+			{ID: "j000003", Seq: 3, State: JobFailed, Key: 0, Spec: "{}", EnqueuedUnixNano: -1},
+			{ID: "j000004", Seq: 4, State: JobQueued, Key: ^uint64(0), Spec: ""},
+		},
+	}}
+}
+
+func TestRoundTripQueue(t *testing.T) {
+	data, err := Encode(sampleQueue())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	data2, err := Encode(back)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("round trip diverged: %d vs %d bytes", len(data), len(data2))
+	}
+	st := back.Queue
+	if st == nil || back.BnB != nil || back.Blackbox != nil {
+		t.Fatalf("wrong snapshot kind: %+v", back)
+	}
+	if st.NextSeq != 5 || len(st.Jobs) != 4 {
+		t.Fatalf("fields lost: %+v", st)
+	}
+	want := sampleQueue().Queue
+	for i, j := range st.Jobs {
+		if j != want.Jobs[i] {
+			t.Fatalf("job %d: got %+v, want %+v", i, j, want.Jobs[i])
+		}
+	}
+}
+
+// A queue snapshot must be writable and loadable through the same atomic
+// Writer path the solver snapshots use.
+func TestQueueWriterRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.ckpt")
+	w := &Writer{Path: path}
+	if err := w.Save(sampleQueue()); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if back.Queue == nil || back.Queue.NextSeq != 5 || len(back.Queue.Jobs) != 4 {
+		t.Fatalf("queue lost through writer: %+v", back)
+	}
+	// Overwrite with a mutated ledger: the atomic replace must win.
+	mut := sampleQueue()
+	mut.Queue.Jobs[1].State = JobDone
+	mut.Queue.NextSeq = 6
+	if err := w.Save(mut); err != nil {
+		t.Fatalf("second save: %v", err)
+	}
+	back, err = Load(path)
+	if err != nil {
+		t.Fatalf("second load: %v", err)
+	}
+	if back.Queue.NextSeq != 6 || back.Queue.Jobs[1].State != JobDone {
+		t.Fatalf("second snapshot not visible: %+v", back.Queue)
+	}
+}
+
+func TestEncodeRejectsMixedQueueShapes(t *testing.T) {
+	if _, err := Encode(&Snapshot{Queue: &QueueState{}, BnB: &BnBState{}}); err == nil {
+		t.Fatal("queue+bnb snapshot encoded")
+	}
+	if _, err := Encode(&Snapshot{Queue: &QueueState{}, Blackbox: &BlackboxState{}}); err == nil {
+		t.Fatal("queue+blackbox snapshot encoded")
+	}
+}

@@ -229,6 +229,17 @@ func (pr *DPGapProblem) Stats() (ModelStats, error) {
 	return statsOf(b.model), nil
 }
 
+// Fingerprint builds the meta model and reports the search fingerprint
+// Solve(opts) would stamp on its milp result — the identity cmd/gapserved
+// keys its result cache and checkpoint files by — without solving anything.
+func (pr *DPGapProblem) Fingerprint(opts milp.Options) (uint64, error) {
+	b, err := pr.build()
+	if err != nil {
+		return 0, err
+	}
+	return milp.SearchFingerprint(b.model, opts), nil
+}
+
 // Solve runs the white-box search and verifies the found input against the
 // direct OPT and DP solvers.
 func (pr *DPGapProblem) Solve(opts milp.Options) (*Result, error) {

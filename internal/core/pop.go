@@ -167,6 +167,20 @@ func (pr *POPGapProblem) Stats() (ModelStats, error) {
 	return statsOf(b.model), nil
 }
 
+// Fingerprint builds the meta model and reports the search fingerprint
+// Solve(opts) would stamp on its milp result — the identity cmd/gapserved
+// keys its result cache and checkpoint files by — without solving anything.
+// When Assignments is nil the build consumes draws from Rng, so callers must
+// construct a fresh problem (same seed) for a subsequent Solve; gapserved
+// does exactly that.
+func (pr *POPGapProblem) Fingerprint(opts milp.Options) (uint64, error) {
+	b, err := pr.build()
+	if err != nil {
+		return 0, err
+	}
+	return milp.SearchFingerprint(b.model, opts), nil
+}
+
 // Solve runs the white-box search and verifies the result against direct
 // POP solves on the same fixed assignments.
 func (pr *POPGapProblem) Solve(opts milp.Options) (*Result, error) {

@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 )
 
@@ -92,25 +93,83 @@ func (pr Pricing) String() string {
 	}
 }
 
+// ParsePricing converts a CLI flag or job-spec value into a Pricing.
+func ParsePricing(s string) (Pricing, error) {
+	switch s {
+	case "", "auto":
+		return PricingAuto, nil
+	case "dantzig":
+		return PricingDantzig, nil
+	case "devex":
+		return PricingDevex, nil
+	default:
+		return PricingAuto, fmt.Errorf("lp: unknown pricing %q (want dantzig or devex)", s)
+	}
+}
+
 // defaultEngine holds the process-wide resolution of EngineAuto. It is
 // atomic so tests and CLIs may flip it while solves run on other
 // goroutines (each solve reads it exactly once, at dispatch).
 var defaultEngine atomic.Int32
 
+// envDiag records what init saw in REPRO_LP_ENGINE, so a misconfigured
+// environment is inspectable after the fact (DefaultEngineDiagnostics)
+// instead of being silently replaced by the dense fallback.
+var envDiag struct {
+	mu       sync.Mutex
+	rejected string
+	err      error
+}
+
+// engineFromEnv resolves an REPRO_LP_ENGINE value to the engine init should
+// install. An unparsable value is NOT forgiven: the dense fallback is still
+// returned (the process must come up), but the error travels with it so
+// init can warn and DefaultEngineDiagnostics can report it. Split from init
+// for testability.
+func engineFromEnv(v string) (Engine, error) {
+	eng, err := ParseEngine(v)
+	if err != nil {
+		return EngineDense, err
+	}
+	if eng == EngineAuto {
+		return EngineDense, nil
+	}
+	return eng, nil
+}
+
 func init() {
 	// The environment override exists for the CI matrix leg that forces the
 	// whole existing test suite through the sparse engine without touching
 	// any call site. It changes which implementation computes the answer,
-	// never the answer itself — exactly like the WarmStart knob.
-	if eng, err := ParseEngine(os.Getenv("REPRO_LP_ENGINE")); err == nil && eng != EngineAuto {
-		defaultEngine.Store(int32(eng))
-	} else {
-		defaultEngine.Store(int32(EngineDense))
+	// never the answer itself — exactly like the WarmStart knob. A value
+	// that does not parse (REPRO_LP_ENGINE=spares) used to be silently
+	// swallowed, un-forcing the sparse leg without a word; now it fails
+	// loudly on stderr and is kept for DefaultEngineDiagnostics.
+	v := os.Getenv("REPRO_LP_ENGINE")
+	eng, err := engineFromEnv(v)
+	defaultEngine.Store(int32(eng))
+	if err != nil {
+		envDiag.mu.Lock()
+		envDiag.rejected = v
+		envDiag.err = err
+		envDiag.mu.Unlock()
+		fmt.Fprintf(os.Stderr, "lp: ignoring REPRO_LP_ENGINE=%q: %v (using %s)\n", v, err, eng)
 	}
 }
 
 // DefaultEngine reports what EngineAuto currently resolves to.
 func DefaultEngine() Engine { return Engine(defaultEngine.Load()) }
+
+// DefaultEngineDiagnostics reports whether the REPRO_LP_ENGINE environment
+// override was rejected at startup: the verbatim rejected value and the
+// parse error, or ("", nil) when the variable was absent or valid. CLIs and
+// the daemon surface this so a typo'd override cannot silently run the
+// whole process on the fallback engine.
+func DefaultEngineDiagnostics() (rejected string, err error) {
+	envDiag.mu.Lock()
+	defer envDiag.mu.Unlock()
+	return envDiag.rejected, envDiag.err
+}
 
 // SetDefaultEngine changes what EngineAuto resolves to, process-wide, and
 // returns the previous default. CLIs use it to honor an -engine flag in

@@ -62,7 +62,7 @@ func SolveMaxConcurrent(inst *Instance) (*Flow, float64, error) {
 			p.AddConstraint(fmt.Sprintf("cap%d", e), expr, lp.LE, inst.G.Edge(e).Capacity)
 		}
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveWith(oneShotOpts())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -141,7 +141,7 @@ func SolveDemandPinningConcurrent(inst *Instance, threshold float64) (*Flow, flo
 			p.AddConstraint(fmt.Sprintf("cap%d", e), expr, lp.LE, residual[e])
 		}
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveWith(oneShotOpts())
 	if err != nil {
 		return nil, 0, err
 	}

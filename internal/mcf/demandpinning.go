@@ -111,7 +111,7 @@ func SolveDemandPinning(inst *Instance, threshold float64) (*Flow, error) {
 			p.AddConstraint(fmt.Sprintf("cap%d", e), expr, lp.LE, residual[e])
 		}
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveWith(oneShotOpts())
 	if err != nil {
 		return nil, err
 	}

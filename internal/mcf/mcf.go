@@ -298,6 +298,17 @@ func innerProblem(in *kkt.InnerLP) (*lp.Problem, []lp.VarID, error) {
 	return p, xs, nil
 }
 
+// oneShotOpts are the SolveOptions for every heuristic-side one-shot LP in
+// this package (direct OPT/DP/POP pricing, the tesolve OPT inner LP, the
+// concurrent-flow variants). Presolve is on: these LPs are solved cold,
+// exactly once, with no warm-start basis to preserve, so the Andersen
+// reduction is pure profit — unlike the B&B node relaxations, where
+// DESIGN.md keeps presolve off because a presolved solve may report a
+// different vertex of a degenerate optimal face and steer branching. The
+// engine stays EngineAuto so the process default (CLI -engine flag,
+// REPRO_LP_ENGINE) keeps applying. Sealed by TestOneShotPresolveDifferential.
+func oneShotOpts() lp.SolveOptions { return lp.SolveOptions{Presolve: true} }
+
 // solveInner solves an InnerLP whose RHS entries are all constants and
 // returns the LP solution.
 func solveInner(in *kkt.InnerLP) (*lp.Solution, []lp.VarID, error) {
@@ -305,7 +316,7 @@ func solveInner(in *kkt.InnerLP) (*lp.Solution, []lp.VarID, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveWith(oneShotOpts())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -140,13 +140,7 @@ func runSearch(m *Model, opts Options, resume *checkpoint.BnBState) (*Result, er
 	if workers <= 0 {
 		workers = 1
 	}
-	batch := opts.Batch
-	if batch <= 0 {
-		batch = 1
-		if workers > 1 {
-			batch = 2 * workers
-		}
-	}
+	batch := resolveBatch(opts)
 	// The legacy Log callback becomes one more sink on the tracer, so both
 	// render the same event stream. A nil tracer with a nil Log stays nil,
 	// and every Emit below is then a single branch with no allocation.
@@ -222,10 +216,12 @@ func runSearch(m *Model, opts Options, resume *checkpoint.BnBState) (*Result, er
 			// any doubt), so the explored tree stays bit-identical.
 			CaptureBasis: opts.WarmStart,
 			WarmStart:    nd.basis, // nil for the root or under a cold run
-			// The engine knob changes which implementation computes each
-			// relaxation, never the relaxation's answer, so the explored
-			// tree stays engine-independent (same contract as WarmStart).
-			Engine: opts.Engine,
+			// The engine and pricing knobs change which implementation (and
+			// pivot rule) computes each relaxation, never the relaxation's
+			// answer, so the explored tree stays engine-independent (same
+			// contract as WarmStart).
+			Engine:  opts.Engine,
+			Pricing: opts.Pricing,
 		})
 		if r.err != nil || r.sol == nil || r.sol.Status != lp.StatusOptimal {
 			return r

@@ -1,0 +1,136 @@
+package milp
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/faultinject"
+	"repro/internal/lp"
+)
+
+// TestCrossEngineResume seals BnBState's portability contract: the
+// fingerprint deliberately excludes the LP engine, so a checkpoint written
+// under one engine must resume under the other and still replay to the
+// bit-identical incumbent, bound, X and node count of the uninterrupted
+// run. Quantified over every wave at which the search can die, in both
+// directions, at one worker and at four.
+func TestCrossEngineResume(t *testing.T) {
+	m := resumeModel(10, 7)
+	dirs := []struct {
+		name         string
+		write, other lp.Engine
+	}{
+		{"dense-to-sparse", lp.EngineDense, lp.EngineSparse},
+		{"sparse-to-dense", lp.EngineSparse, lp.EngineDense},
+	}
+	for _, dir := range dirs {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", dir.name, workers), func(t *testing.T) {
+				base := Options{Workers: workers, Batch: 4, WarmStart: true}
+				// The reference answer is the uninterrupted run under the
+				// engine the killed run writes with; the resumed run must
+				// match it despite solving its relaxations elsewhere.
+				refOpts := base
+				refOpts.Engine = dir.write
+				ref := solve(t, m, refOpts)
+				if ref.Status != StatusOptimal {
+					t.Fatalf("reference run not optimal: %v", ref.Status)
+				}
+				killed := 0
+				for k := 1; ; k++ {
+					path := filepath.Join(t.TempDir(), "bnb.ckpt")
+					plan, err := faultinject.Parse(fmt.Sprintf("deadline:%d", k), 0)
+					if err != nil {
+						t.Fatalf("plan: %v", err)
+					}
+					opts := base
+					opts.Engine = dir.write
+					opts.Checkpoint = path
+					opts.Faults = plan
+					dead, err := Solve(m, opts)
+					if err != nil {
+						t.Fatalf("kill at wave %d: %v", k, err)
+					}
+					if dead.Status == StatusOptimal {
+						if killed == 0 {
+							t.Fatal("search finished before the first kill point; enlarge the model")
+						}
+						break
+					}
+					killed++
+					snap, err := checkpoint.Load(path)
+					if err != nil {
+						t.Fatalf("load at wave %d: %v", k, err)
+					}
+					resumeOpts := base
+					resumeOpts.Engine = dir.other
+					res, err := Resume(m, snap.BnB, resumeOpts)
+					if err != nil {
+						t.Fatalf("resume at wave %d: %v", k, err)
+					}
+					if res.Status != ref.Status ||
+						res.Objective != ref.Objective ||
+						res.Bound != ref.Bound ||
+						res.Nodes != ref.Nodes ||
+						res.LPSolves != ref.LPSolves {
+						t.Fatalf("cross-engine resume at wave %d diverged:\n got %v obj=%v bound=%v nodes=%d lp=%d\nwant %v obj=%v bound=%v nodes=%d lp=%d",
+							k, res.Status, res.Objective, res.Bound, res.Nodes, res.LPSolves,
+							ref.Status, ref.Objective, ref.Bound, ref.Nodes, ref.LPSolves)
+					}
+					for i, x := range ref.X {
+						if res.X[i] != x {
+							t.Fatalf("cross-engine resume at wave %d: X[%d] = %v, want %v", k, i, res.X[i], x)
+						}
+					}
+				}
+				if killed < 2 {
+					t.Fatalf("only %d kill points exercised; enlarge the model", killed)
+				}
+			})
+		}
+	}
+}
+
+// TestSearchFingerprintMatchesSolve pins the exported fingerprint preview to
+// the one Solve actually stamps, across the option axes that must (Batch,
+// DepthFirst) and must not (Workers, Engine, Pricing, WarmStart) move it.
+func TestSearchFingerprintMatchesSolve(t *testing.T) {
+	m := resumeModel(8, 3)
+	for _, opts := range []Options{
+		{},
+		{Batch: 4},
+		{Workers: 4},
+		{Batch: 4, DepthFirst: true},
+	} {
+		res := solve(t, m, opts)
+		if got := SearchFingerprint(m, opts); got != res.Fingerprint {
+			t.Fatalf("SearchFingerprint(%+v) = %#x, Solve stamped %#x", opts, got, res.Fingerprint)
+		}
+	}
+	base := SearchFingerprint(m, Options{Batch: 4})
+	for _, opts := range []Options{
+		{Batch: 4, Workers: 8},
+		{Batch: 4, Engine: lp.EngineSparse, Pricing: lp.PricingDevex},
+		{Batch: 4, WarmStart: true},
+	} {
+		if got := SearchFingerprint(m, opts); got != base {
+			t.Fatalf("answer-neutral options moved the fingerprint: %+v -> %#x, want %#x", opts, got, base)
+		}
+	}
+	if SearchFingerprint(m, Options{Batch: 8}) == base {
+		t.Fatal("batch change did not move the fingerprint")
+	}
+	if SearchFingerprint(m, Options{Batch: 4, DepthFirst: true}) == base {
+		t.Fatal("depth-first change did not move the fingerprint")
+	}
+	// The default-batch rule: Batch 0 resolves to 1 serially and 2*Workers
+	// in parallel, and the fingerprint follows the resolved value.
+	if SearchFingerprint(m, Options{}) != SearchFingerprint(m, Options{Batch: 1}) {
+		t.Fatal("serial default batch does not resolve to 1")
+	}
+	if SearchFingerprint(m, Options{Workers: 4}) != SearchFingerprint(m, Options{Batch: 8}) {
+		t.Fatal("parallel default batch does not resolve to 2*Workers")
+	}
+}

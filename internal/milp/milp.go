@@ -223,6 +223,14 @@ type Options struct {
 	// relaxation may report a different vertex of a degenerate optimal
 	// face, which would steer branching and break that contract.)
 	Engine lp.Engine
+	// Pricing selects the sparse engine's entering-column rule for every
+	// node relaxation (the dense engine ignores it; see lp.Pricing). Like
+	// Engine it changes how relaxations are computed, never their answers,
+	// so it is excluded from the checkpoint fingerprint. PricingAuto and
+	// PricingDantzig reproduce the dense pivot sequence exactly; Devex may
+	// change Result.LPIters (fewer, better pivots on large degenerate LPs)
+	// but not the explored tree.
+	Pricing lp.Pricing
 	// Seeds are known-feasible solutions installed as incumbents before the
 	// search starts (same contract as Polish: the objective must be
 	// genuinely achievable and the vector is treated opaquely). They

@@ -70,6 +70,31 @@ func fingerprint(m *Model, batch int, depthFirst bool) uint64 {
 	return h.Sum64()
 }
 
+// resolveBatch computes the effective wave size for opts, exactly as
+// runSearch does: an explicit Batch wins; otherwise 1 for the serial search
+// and 2*Workers for the parallel one. Shared between the search itself and
+// SearchFingerprint so the two can never drift.
+func resolveBatch(opts Options) int {
+	if opts.Batch > 0 {
+		return opts.Batch
+	}
+	if opts.Workers > 1 {
+		return 2 * opts.Workers
+	}
+	return 1
+}
+
+// SearchFingerprint reports the fingerprint Solve(m, opts) would stamp on
+// its Result — without solving anything. Callers that key caches or result
+// stores by search identity (cmd/gapserved's results store) use this to
+// look up a fingerprint before paying for the solve. The hash covers the
+// model shape and the tree-determining options (resolved Batch, DepthFirst);
+// Workers, Engine, Pricing and WarmStart are deliberately excluded because
+// they never change the explored tree or the answer.
+func SearchFingerprint(m *Model, opts Options) uint64 {
+	return fingerprint(m, resolveBatch(opts), opts.DepthFirst)
+}
+
 // frontierOut converts the open-node heap to its wire form, sorted by node
 // id so the encoded bytes are canonical regardless of the heap's internal
 // array layout. Bases marshal to their opaque lp wire form.

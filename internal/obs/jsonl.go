@@ -60,6 +60,11 @@ func kindFromString(s string) Kind {
 	return KindFaultInjected + 1 // out-of-range marker; String() says "unknown"
 }
 
+// NewRecord converts an Event to its JSONL wire form — the same projection
+// JSONLWriter applies per line. Exported for sinks that ship records over
+// other transports (cmd/gapserved streams them as NDJSON HTTP responses).
+func NewRecord(e Event) Record { return recordOf(e) }
+
 func recordOf(e Event) Record {
 	r := Record{
 		T:          e.Elapsed.Seconds(),

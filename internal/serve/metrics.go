@@ -1,0 +1,41 @@
+package serve
+
+import "repro/internal/obs"
+
+// metrics is the daemon's instrument bundle, registered on one obs.Registry
+// per server so tests can assert counter deltas in isolation. The solver-run
+// counter is the load-bearing one: a cache hit must leave it untouched,
+// which is how "same job twice = one solve" is verified.
+type metrics struct {
+	jobsSubmitted *obs.Counter
+	jobsCompleted *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsRejected  *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	solverRuns    *obs.Counter
+	queueDepth    *obs.Gauge
+	workersBusy   *obs.Gauge
+	jobSeconds    *obs.Histogram
+	buildSeconds  *obs.Histogram
+	solveSeconds  *obs.Histogram
+	verifySeconds *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		jobsSubmitted: r.Counter("serve_jobs_submitted_total"),
+		jobsCompleted: r.Counter("serve_jobs_completed_total"),
+		jobsFailed:    r.Counter("serve_jobs_failed_total"),
+		jobsRejected:  r.Counter("serve_jobs_rejected_total"),
+		cacheHits:     r.Counter("serve_cache_hits_total"),
+		cacheMisses:   r.Counter("serve_cache_misses_total"),
+		solverRuns:    r.Counter("serve_solver_runs_total"),
+		queueDepth:    r.Gauge("serve_queue_depth"),
+		workersBusy:   r.Gauge("serve_workers_busy"),
+		jobSeconds:    r.Histogram("serve_job_seconds"),
+		buildSeconds:  r.Histogram("serve_phase_build_seconds"),
+		solveSeconds:  r.Histogram("serve_phase_solve_seconds"),
+		verifySeconds: r.Histogram("serve_phase_verify_seconds"),
+	}
+}

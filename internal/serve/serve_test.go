@@ -1,0 +1,526 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// figure1Spec is the fast fixture: the paper's Figure-1 example solves to
+// proven optimality (gap 10) in tens of milliseconds, so tests that only
+// exercise the daemon's plumbing stay quick even under the race detector.
+func figure1Spec() *Spec {
+	return &Spec{Topology: "figure1", Heuristic: "dp", Pairs: -1, BudgetSec: 30}
+}
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		StateDir:      t.TempDir(),
+		Workers:       2,
+		QueueDepth:    8,
+		DefaultBudget: 30 * time.Second,
+		MaxBudget:     2 * time.Minute,
+	}
+}
+
+func newServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// waitTerminal polls until the job leaves queued/running or the deadline
+// passes.
+func waitTerminal(t *testing.T, s *Server, id string, timeout time.Duration) *job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		j := s.jobByID(id)
+		if j == nil {
+			t.Fatalf("job %s disappeared", id)
+		}
+		switch j.getState() {
+		case stateDone, stateFailed:
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, j.getState(), timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestSubmitAndSolveOverHTTP(t *testing.T) {
+	s := newServer(t, testConfig(t))
+	s.Start()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body, _ := json.Marshal(figure1Spec())
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	var view jobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202 (%+v)", resp.StatusCode, view)
+	}
+	j := waitTerminal(t, s, view.ID, 60*time.Second)
+	if j.getState() != stateDone {
+		t.Fatalf("job state %s: %s", j.getState(), j.errMsg)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + view.ID)
+	if err != nil {
+		t.Fatalf("get job: %v", err)
+	}
+	var done jobView
+	json.NewDecoder(resp.Body).Decode(&done)
+	resp.Body.Close()
+	if done.State != stateDone || done.Result == nil {
+		t.Fatalf("job view not done: %+v", done)
+	}
+	if done.Result.Status != "optimal" || done.Result.Gap != "10" {
+		t.Fatalf("figure1 answer wrong: status=%s gap=%s", done.Result.Status, done.Result.Gap)
+	}
+
+	// The result is addressable by its cache key too.
+	resp, err = http.Get(ts.URL + "/v1/results/" + done.Key)
+	if err != nil {
+		t.Fatalf("get result: %v", err)
+	}
+	var sr StoredResult
+	json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if sr.Gap != "10" || sr.Key != done.Key {
+		t.Fatalf("result by key wrong: %+v", sr)
+	}
+
+	// The event stream ends with a solve_done record once the job is over.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatalf("get events: %v", err)
+	}
+	events, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(events), `"kind":"solve_done"`) {
+		t.Fatalf("event stream lacks solve_done:\n%s", events)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("get metrics: %v", err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(prom), "serve_jobs_completed_total 1") {
+		t.Fatalf("metrics missing completion count:\n%s", prom)
+	}
+}
+
+// TestDuplicateJobHitsCache is the acceptance property: submitting the same
+// job twice runs the solver exactly once — the second submission is answered
+// from the results store, asserted through the obs counters.
+func TestDuplicateJobHitsCache(t *testing.T) {
+	s := newServer(t, testConfig(t))
+	s.Start()
+
+	j1, err := s.submit(figure1Spec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitTerminal(t, s, j1.id, 60*time.Second)
+	if runs := s.met.solverRuns.Value(); runs != 1 {
+		t.Fatalf("first job took %d solver runs, want 1", runs)
+	}
+
+	j2, err := s.submit(figure1Spec())
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if j2.getState() != stateDone {
+		t.Fatalf("duplicate not answered at admission: state %s", j2.getState())
+	}
+	if j2.key != j1.key {
+		t.Fatalf("duplicate got a different key: %016x vs %016x", j2.key, j1.key)
+	}
+	if runs := s.met.solverRuns.Value(); runs != 1 {
+		t.Fatalf("duplicate triggered a solver run: %d total, want 1", runs)
+	}
+	if hits, misses := s.met.cacheHits.Value(), s.met.cacheMisses.Value(); hits != 1 || misses != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if j2.result.Gap != j1.result.Gap || j2.result.Nodes != j1.result.Nodes {
+		t.Fatalf("cached result differs: %+v vs %+v", j2.result, j1.result)
+	}
+	// A solve-determining option change must MISS: same model, different key.
+	warm := figure1Spec()
+	warm.WarmStart = true
+	j3, err := s.submit(warm)
+	if err != nil {
+		t.Fatalf("warm submit: %v", err)
+	}
+	if j3.key == j1.key {
+		t.Fatal("warm-start flag did not change the cache key")
+	}
+	waitTerminal(t, s, j3.id, 60*time.Second)
+	if runs := s.met.solverRuns.Value(); runs != 2 {
+		t.Fatalf("warm variant should have solved: %d runs, want 2", runs)
+	}
+}
+
+// TestConcurrentDuplicateSubmissions hammers admission and the pool with
+// duplicate keys from many goroutines: every job must land done, and each
+// unique key must be solved exactly once (singleflight + store).
+func TestConcurrentDuplicateSubmissions(t *testing.T) {
+	s := newServer(t, testConfig(t))
+	s.Start()
+
+	const uniques, dups = 3, 3
+	var wg sync.WaitGroup
+	ids := make(chan string, uniques*dups)
+	for u := 0; u < uniques; u++ {
+		for d := 0; d < dups; d++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				spec := &Spec{Topology: "figure1", Heuristic: "dp", Pairs: 3, Seed: seed, BudgetSec: 30}
+				j, err := s.submit(spec)
+				if err != nil {
+					t.Errorf("submit seed %d: %v", seed, err)
+					return
+				}
+				ids <- j.id
+			}(int64(u + 1))
+		}
+	}
+	wg.Wait()
+	close(ids)
+	for id := range ids {
+		j := waitTerminal(t, s, id, 60*time.Second)
+		if j.getState() != stateDone {
+			t.Fatalf("job %s: %s (%s)", id, j.getState(), j.errMsg)
+		}
+	}
+	if runs := s.met.solverRuns.Value(); runs != uniques {
+		t.Fatalf("%d solver runs for %d unique keys", runs, uniques)
+	}
+	if s.store.len() != uniques {
+		t.Fatalf("store holds %d results, want %d", s.store.len(), uniques)
+	}
+	if hits := s.met.cacheHits.Value(); hits != uniques*(dups-1) {
+		t.Fatalf("%d cache hits, want %d", hits, uniques*(dups-1))
+	}
+}
+
+// TestAdmissionRejectsWhenQueueFull: with the pool not started, the bounded
+// queue fills and the next submission is answered 429.
+func TestAdmissionRejectsWhenQueueFull(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 2
+	s := newServer(t, cfg) // Start deliberately not called: nothing drains the queue
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for seed := int64(1); seed <= 2; seed++ {
+		spec := &Spec{Topology: "figure1", Heuristic: "dp", Pairs: 3, Seed: seed}
+		if _, err := s.submit(spec); err != nil {
+			t.Fatalf("submit %d: %v", seed, err)
+		}
+	}
+	body, _ := json.Marshal(&Spec{Topology: "figure1", Heuristic: "dp", Pairs: 3, Seed: 3})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if rej := s.met.jobsRejected.Value(); rej != 1 {
+		t.Fatalf("rejected counter %d, want 1", rej)
+	}
+	// Bad specs are 400, not 429, and also count as rejections.
+	body, _ = json.Marshal(&Spec{Topology: "b4", Heuristic: "nope"})
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDeadlineExpiryMidSolve: a job whose budget cannot reach optimality
+// completes as done with the solver's budget-limited status instead of
+// hanging or failing.
+func TestDeadlineExpiryMidSolve(t *testing.T) {
+	s := newServer(t, testConfig(t))
+	s.Start()
+	spec := &Spec{Topology: "b4", Heuristic: "dp", Pairs: 12, Seed: 1, BudgetSec: 0.25}
+	j, err := s.submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	j = waitTerminal(t, s, j.id, 60*time.Second)
+	if j.getState() != stateDone {
+		t.Fatalf("deadline-limited job %s: %s", j.getState(), j.errMsg)
+	}
+	if j.result.Status == "optimal" {
+		t.Fatalf("b4/12-pair job proved optimality in %.2fs — budget did not bind", spec.BudgetSec)
+	}
+	if j.result.Status != "feasible" && j.result.Status != "interrupted" {
+		t.Fatalf("unexpected budget-limited status %q", j.result.Status)
+	}
+}
+
+// TestDrainPersistsQueuedJobs: jobs admitted but never started survive a
+// drain as JobQueued ledger entries and complete after a restart.
+func TestDrainPersistsQueuedJobs(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var ids []string
+	for seed := int64(1); seed <= 2; seed++ {
+		j, err := s.submit(&Spec{Topology: "figure1", Heuristic: "dp", Pairs: 3, Seed: seed})
+		if err != nil {
+			t.Fatalf("submit %d: %v", seed, err)
+		}
+		ids = append(ids, j.id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	snap, err := checkpoint.Load(filepath.Join(cfg.StateDir, "queue.ckpt"))
+	if err != nil {
+		t.Fatalf("load ledger: %v", err)
+	}
+	if snap.Queue == nil || len(snap.Queue.Jobs) != 2 {
+		t.Fatalf("ledger wrong: %+v", snap.Queue)
+	}
+	for _, rec := range snap.Queue.Jobs {
+		if rec.State != checkpoint.JobQueued {
+			t.Fatalf("job %s persisted as %d, want queued", rec.ID, rec.State)
+		}
+	}
+
+	// Submissions during a drain are refused.
+	if _, err := s.submit(figure1Spec()); err == nil {
+		t.Fatal("drain accepted a submission")
+	}
+
+	s2 := newServer(t, cfg) // same StateDir: the ledger re-admits both jobs
+	s2.Start()
+	for _, id := range ids {
+		j := waitTerminal(t, s2, id, 60*time.Second)
+		if j.getState() != stateDone {
+			t.Fatalf("restored job %s: %s (%s)", id, j.getState(), j.errMsg)
+		}
+	}
+	if s2.store.len() != 2 {
+		t.Fatalf("store holds %d results after restart, want 2", s2.store.len())
+	}
+}
+
+// TestDrainMidSolveResumesBitIdentical is the crash-safety acceptance
+// property at the daemon level: drain a job mid-search, restart the daemon
+// on the same state dir, and the resumed job must report the bit-identical
+// gap, bound, and node count of an uninterrupted run of the same spec.
+func TestDrainMidSolveResumesBitIdentical(t *testing.T) {
+	// b4/3-pairs/seed-5 proves optimality in ~10s under the race detector
+	// across ~50 waves (batch 4), so a checkpoint exists almost immediately
+	// and the drain lands mid-search.
+	spec := func() *Spec {
+		return &Spec{Topology: "b4", Heuristic: "dp", Pairs: 3, Seed: 5, Workers: 2, BudgetSec: 120}
+	}
+
+	// Reference: the uninterrupted run, on its own state dir.
+	refCfg := testConfig(t)
+	ref := newServer(t, refCfg)
+	ref.Start()
+	rj, err := ref.submit(spec())
+	if err != nil {
+		t.Fatalf("reference submit: %v", err)
+	}
+	refJob := waitTerminal(t, ref, rj.id, 120*time.Second)
+	if refJob.getState() != stateDone || refJob.result.Status != "optimal" {
+		t.Fatalf("reference run did not reach optimality: %+v", refJob.result)
+	}
+
+	// Interrupted run: drain as soon as a checkpoint exists.
+	cfg := testConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	j, err := s.submit(spec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ckpt := s.ckptPath(j.key)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared within 30s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st := s.jobByID(j.id).getState(); st != stateQueued {
+		t.Fatalf("drained job is %s, want queued (job finished before the drain landed?)", st)
+	}
+
+	s2 := newServer(t, cfg)
+	s2.Start()
+	j2 := waitTerminal(t, s2, j.id, 120*time.Second)
+	if j2.getState() != stateDone {
+		t.Fatalf("resumed job: %s (%s)", j2.getState(), j2.errMsg)
+	}
+	got, want := j2.result, refJob.result
+	if got.Status != want.Status || got.Gap != want.Gap || got.Bound != want.Bound ||
+		got.Nodes != want.Nodes || got.LPSolves != want.LPSolves {
+		t.Fatalf("resumed answer diverged:\n got status=%s gap=%s bound=%s nodes=%d lp=%d\nwant status=%s gap=%s bound=%s nodes=%d lp=%d",
+			got.Status, got.Gap, got.Bound, got.Nodes, got.LPSolves,
+			want.Status, want.Gap, want.Bound, want.Nodes, want.LPSolves)
+	}
+	if fmt.Sprintf("%v", got.Demands) != fmt.Sprintf("%v", want.Demands) {
+		t.Fatalf("resumed demands diverged:\n got %v\nwant %v", got.Demands, want.Demands)
+	}
+	// The resumed daemon must actually have resumed, not restarted: its
+	// checkpoint file is consumed on completion.
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not cleaned up after completion: %v", err)
+	}
+}
+
+func TestSpecCanonicalization(t *testing.T) {
+	s := &Spec{Topology: "b4", Heuristic: "dp"}
+	eng, pricing, err := s.canonicalize(30*time.Second, time.Minute)
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	if s.Pairs != 12 || s.Paths != 2 || s.Seed != 1 || s.Threshold != 5 ||
+		s.MaxDemand != 100 || s.Workers != 1 || s.BudgetSec != 30 {
+		t.Fatalf("defaults not filled: %+v", s)
+	}
+	if s.Engine != eng.String() || s.Pricing != pricing.String() {
+		t.Fatalf("resolved names not recorded: %+v", s)
+	}
+	over := &Spec{Topology: "b4", Heuristic: "dp", BudgetSec: 3600}
+	if _, _, err := over.canonicalize(30*time.Second, time.Minute); err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	if over.BudgetSec != 60 {
+		t.Fatalf("budget not clamped: %g", over.BudgetSec)
+	}
+	for _, bad := range []*Spec{
+		{Topology: "nope", Heuristic: "dp"},
+		{Topology: "b4", Heuristic: "greedy"},
+		{Topology: "b4", Heuristic: "dp", Engine: "spares"},
+		{Topology: "b4", Heuristic: "dp", Pricing: "steepest"},
+		{Topology: "b4", Heuristic: "dp", Workers: -1},
+		{Topology: "b4", Heuristic: "dp", BudgetSec: -5},
+	} {
+		if _, _, err := bad.canonicalize(30*time.Second, time.Minute); err == nil {
+			t.Fatalf("bad spec accepted: %+v", bad)
+		}
+	}
+}
+
+func TestCacheKeyComposition(t *testing.T) {
+	mk := func(mut func(*Spec)) uint64 {
+		spec := figure1Spec()
+		mut(spec)
+		if _, _, err := spec.canonicalize(30*time.Second, time.Minute); err != nil {
+			t.Fatalf("canonicalize: %v", err)
+		}
+		pr, err := spec.problem()
+		if err != nil {
+			t.Fatalf("problem: %v", err)
+		}
+		fp, err := pr.Fingerprint(spec.options(nil))
+		if err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+		return cacheKey(spec, fp)
+	}
+	base := mk(func(*Spec) {})
+	if mk(func(*Spec) {}) != base {
+		t.Fatal("cache key not deterministic")
+	}
+	for name, mut := range map[string]func(*Spec){
+		"engine":    func(s *Spec) { s.Engine = otherEngine(t) },
+		"pricing":   func(s *Spec) { s.Pricing = "devex" },
+		"warmstart": func(s *Spec) { s.WarmStart = true },
+		"workers":   func(s *Spec) { s.Workers = 4 }, // resolved batch moves the fingerprint
+		"topology":  func(s *Spec) { s.Topology = "b4"; s.Pairs = 4 },
+		// Same model SHAPE, different instance: only the spec layer of the
+		// key separates these — the milp fingerprint alone would alias.
+		"seed": func(s *Spec) { s.Pairs = 3; s.Seed = 2 },
+	} {
+		if mk(mut) == base {
+			t.Fatalf("%s change did not move the cache key", name)
+		}
+	}
+	// Budget is a deadline, not a solve-determining option at fixed tree:
+	// it deliberately shares the key. (Interrupted results are cached as
+	// the answer for their key; resubmitting with a bigger budget reuses
+	// them — documented daemon semantics.)
+	if mk(func(s *Spec) { s.BudgetSec = 60 }) != base {
+		t.Fatal("budget changed the cache key")
+	}
+}
+
+// otherEngine names an engine different from the process default, so the
+// key-composition test moves the engine axis regardless of environment.
+func otherEngine(t *testing.T) string {
+	t.Helper()
+	spec := figure1Spec()
+	if _, _, err := spec.canonicalize(30*time.Second, time.Minute); err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	if spec.Engine == "dense" {
+		return "sparse"
+	}
+	return "dense"
+}

@@ -1,0 +1,636 @@
+// Package serve is the gap-search daemon behind cmd/gapserved: a
+// stdlib-only HTTP front end over the white-box gap search. It layers, from
+// the outside in:
+//
+//   - admission: POST /v1/jobs canonicalizes the spec, computes the cache
+//     key, and either answers from the results store (cache hit), rejects
+//     when the queue is full (429), or enqueues;
+//   - a bounded worker pool that solves jobs with per-job deadlines,
+//     checkpointing through internal/checkpoint on the configured cadence
+//     so a killed daemon resumes mid-search;
+//   - a durable results store keyed by the milp search fingerprint extended
+//     with the solve-determining options (engine, pricing, warm-start,
+//     presolve) — see cacheKey;
+//   - a durable job queue (checkpoint.QueueState) persisted on every
+//     mutation, so queued and in-flight jobs survive a crash or drain and
+//     re-run to their bit-identical answers.
+//
+// Every decision is surfaced through an obs.Registry (cache hits/misses,
+// queue depth, worker utilization, per-phase timings) and each job's solver
+// events stream as NDJSON via /v1/jobs/{id}/events.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/milp"
+	"repro/internal/obs"
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// StateDir holds the durable state: queue.ckpt, results.json, and one
+	// ckpt-<key>.ckpt per in-flight job. Required.
+	StateDir string
+	// Workers is the pool size (default 1). Each worker runs one job at a
+	// time; the job's own solver parallelism is Spec.Workers.
+	Workers int
+	// QueueDepth caps the jobs waiting for a worker; submissions beyond it
+	// are rejected with 429 (default 64).
+	QueueDepth int
+	// DefaultBudget is the solve budget for jobs that do not set one
+	// (default 30s); MaxBudget clamps every job's budget (default 10m).
+	DefaultBudget time.Duration
+	MaxBudget     time.Duration
+	// DeadlineGrace is added to a job's budget to form its hard context
+	// deadline — the backstop for a solver that overruns its TimeLimit
+	// (default 10s).
+	DeadlineGrace time.Duration
+	// CheckpointEvery is the milp checkpoint cadence in waves (0 = every
+	// wave boundary).
+	CheckpointEvery int
+	// Registry receives the daemon's metrics (nil = a fresh registry,
+	// exposed at /metrics either way).
+	Registry *obs.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.StateDir == "" {
+		return fmt.Errorf("serve: Config.StateDir is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 30 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 10 * time.Minute
+	}
+	if c.DeadlineGrace <= 0 {
+		c.DeadlineGrace = 10 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return nil
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Job states as reported over the wire.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// job is one admitted gap search.
+type job struct {
+	id   string
+	seq  uint64
+	spec *Spec
+	key  uint64 // cache key (fingerprint + solve options)
+	fp   uint64 // milp search fingerprint
+
+	events *eventBuffer
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	result   *StoredResult
+	enqueued time.Time
+	done     chan struct{} // closed when the job reaches done/failed
+}
+
+func (j *job) getState() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = stateRunning
+	j.mu.Unlock()
+}
+
+// requeued flips a drained running job back to queued (the persisted ledger
+// re-admits it on restart; its checkpoint file carries the search state).
+func (j *job) requeued() {
+	j.mu.Lock()
+	j.state = stateQueued
+	j.mu.Unlock()
+}
+
+func (j *job) finish(sr *StoredResult) {
+	j.mu.Lock()
+	j.state = stateDone
+	j.result = sr
+	close(j.done)
+	j.mu.Unlock()
+}
+
+func (j *job) fail(msg string) {
+	j.mu.Lock()
+	j.state = stateFailed
+	j.errMsg = msg
+	close(j.done)
+	j.mu.Unlock()
+}
+
+// ledgerState projects the live state onto the persisted JobState: running
+// jobs persist as queued (they re-run — resuming from their checkpoint —
+// after a restart).
+func (j *job) ledgerState() checkpoint.JobState {
+	switch j.getState() {
+	case stateDone:
+		return checkpoint.JobDone
+	case stateFailed:
+		return checkpoint.JobFailed
+	default:
+		return checkpoint.JobQueued
+	}
+}
+
+// eventBuffer is a Sink that retains each job's solver events as JSONL
+// records for the /v1/jobs/{id}/events stream. The per-node LP chatter
+// (lp_solve_start/end, node_explored/pruned/branched, polish attempts) is
+// filtered out: the stream is incumbent progress, not a solver trace. The
+// cap bounds a runaway job's memory; overflow drops newest-first and is
+// reported by the handler.
+type eventBuffer struct {
+	mu      sync.Mutex
+	recs    []obs.Record
+	dropped int
+}
+
+const maxBufferedEvents = 4096
+
+func (b *eventBuffer) Emit(e obs.Event) {
+	switch e.Kind {
+	case obs.KindIncumbent, obs.KindStall, obs.KindPhaseStart, obs.KindPhaseEnd,
+		obs.KindSolveDone, obs.KindCheckpointWrite, obs.KindResume, obs.KindFaultInjected:
+	default:
+		return
+	}
+	b.mu.Lock()
+	if len(b.recs) < maxBufferedEvents {
+		b.recs = append(b.recs, obs.NewRecord(e))
+	} else {
+		b.dropped++
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns the records from index from on, plus the total retained.
+func (b *eventBuffer) snapshot(from int) ([]obs.Record, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from > len(b.recs) {
+		from = len(b.recs)
+	}
+	return b.recs[from:], len(b.recs)
+}
+
+// Server is the daemon: admission, queue, pool, store, and handlers behind
+// one http.Handler. Create with New, start the pool with Start, and stop
+// with Shutdown (which drains gracefully: in-flight jobs checkpoint and
+// re-queue, the ledger persists).
+type Server struct {
+	cfg Config
+	met *metrics
+
+	store *store
+	qw    *checkpoint.Writer
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job          // admission order
+	queue    chan *job       // bounded buffer between admission and the pool
+	inflight map[uint64]*job // cache-key singleflight: key -> solving job
+	nextSeq  uint64
+	draining bool
+
+	busy       atomic.Int64
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	started    bool
+
+	// OnJobDone, when non-nil, is called after a job reaches done (not on
+	// cache hits at admission) — cmd/gapserved prints SUMMARY lines with it.
+	OnJobDone func(id string, sr *StoredResult)
+
+	mux *http.ServeMux
+}
+
+// New builds a Server over cfg.StateDir, reloading the results store and the
+// persisted job queue (jobs in state queued — including jobs that were
+// running at the crash — are re-admitted in their original order).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, err
+	}
+	st, err := openStore(filepath.Join(cfg.StateDir, "results.json"))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		met:        newMetrics(cfg.Registry),
+		store:      st,
+		qw:         &checkpoint.Writer{Path: filepath.Join(cfg.StateDir, "queue.ckpt")},
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, cfg.QueueDepth),
+		inflight:   make(map[uint64]*job),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.initMux()
+	if err := s.restoreQueue(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// restoreQueue reloads the persisted ledger: terminal jobs reappear with
+// their stored results, queued ones go back on the queue in Seq order.
+func (s *Server) restoreQueue() error {
+	snap, err := checkpoint.Load(s.qw.Path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: queue ledger: %w", err)
+	}
+	if snap.Queue == nil {
+		return fmt.Errorf("serve: %s does not hold a queue snapshot", s.qw.Path)
+	}
+	s.nextSeq = snap.Queue.NextSeq
+	for _, rec := range snap.Queue.Jobs {
+		var spec Spec
+		if err := json.Unmarshal([]byte(rec.Spec), &spec); err != nil {
+			return fmt.Errorf("serve: queue ledger job %s: %w", rec.ID, err)
+		}
+		j := &job{
+			id: rec.ID, seq: rec.Seq, spec: &spec, key: rec.Key,
+			events: &eventBuffer{}, done: make(chan struct{}),
+			enqueued: time.Unix(0, rec.EnqueuedUnixNano),
+		}
+		if rec.State == checkpoint.JobQueued {
+			// Recompute the milp fingerprint the worker will validate its
+			// checkpoint against: the spec is canonical, so the rebuilt
+			// model is the one the pre-restart daemon was solving.
+			pr, err := spec.problem()
+			if err != nil {
+				return fmt.Errorf("serve: queue ledger job %s: %w", rec.ID, err)
+			}
+			if j.fp, err = pr.Fingerprint(spec.options(nil)); err != nil {
+				return fmt.Errorf("serve: queue ledger job %s: %w", rec.ID, err)
+			}
+		}
+		switch rec.State {
+		case checkpoint.JobDone:
+			j.state = stateDone
+			j.result = s.store.get(rec.Key)
+			close(j.done)
+		case checkpoint.JobFailed:
+			j.state = stateFailed
+			j.errMsg = "failed before restart"
+			close(j.done)
+		default:
+			j.state = stateQueued
+			select {
+			case s.queue <- j:
+			default:
+				return fmt.Errorf("serve: queue ledger holds more queued jobs than QueueDepth %d", s.cfg.QueueDepth)
+			}
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+	}
+	s.met.queueDepth.Set(float64(len(s.queue)))
+	return nil
+}
+
+// Start launches the worker pool. Safe to call once.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.workerLoop()
+		}()
+	}
+}
+
+// Shutdown drains the daemon: new submissions are rejected, running jobs
+// are cancelled at the next wave boundary (their checkpoints hold the
+// search state), and the job ledger is persisted so a restarted daemon
+// re-admits everything unfinished. It returns when the pool has stopped or
+// ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.baseCancel()
+	stopped := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(stopped)
+	}()
+	var err error
+	select {
+	case <-stopped:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if perr := s.persistQueue(); perr != nil && err == nil {
+		err = perr
+	}
+	return err
+}
+
+// persistQueue writes the job ledger (every admitted job, in admission
+// order) through the atomic checkpoint writer.
+func (s *Server) persistQueue() error {
+	s.mu.Lock()
+	qs := &checkpoint.QueueState{NextSeq: s.nextSeq, Jobs: make([]checkpoint.JobRecord, 0, len(s.order))}
+	for _, j := range s.order {
+		qs.Jobs = append(qs.Jobs, checkpoint.JobRecord{
+			ID: j.id, Seq: j.seq, State: j.ledgerState(), Key: j.key,
+			Spec: j.spec.canonicalJSON(), EnqueuedUnixNano: j.enqueued.UnixNano(),
+		})
+	}
+	s.mu.Unlock()
+	return s.qw.Save(&checkpoint.Snapshot{Queue: qs})
+}
+
+// submitError is an admission failure with its HTTP status.
+type submitError struct {
+	code int
+	msg  string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// submit admits a job spec: canonicalize, compute the cache key, answer
+// from the store when possible, reject when the queue is full, enqueue
+// otherwise. Returns the job (terminal immediately on a cache hit).
+func (s *Server) submit(spec *Spec) (*job, error) {
+	s.met.jobsSubmitted.Inc()
+	_, _, err := spec.canonicalize(s.cfg.DefaultBudget, s.cfg.MaxBudget)
+	if err != nil {
+		s.met.jobsRejected.Inc()
+		return nil, &submitError{code: 400, msg: err.Error()}
+	}
+	// The fingerprint requires building the meta model once; admission pays
+	// that cost (milliseconds at these model sizes) so cache hits never
+	// touch a worker.
+	pr, err := spec.problem()
+	if err != nil {
+		s.met.jobsRejected.Inc()
+		return nil, &submitError{code: 400, msg: err.Error()}
+	}
+	fp, err := pr.Fingerprint(spec.options(nil))
+	if err != nil {
+		s.met.jobsRejected.Inc()
+		return nil, &submitError{code: 400, msg: err.Error()}
+	}
+	key := cacheKey(spec, fp)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.met.jobsRejected.Inc()
+		return nil, &submitError{code: 503, msg: "serve: draining"}
+	}
+	s.nextSeq++
+	j := &job{
+		id: fmt.Sprintf("j%06d", s.nextSeq), seq: s.nextSeq, spec: spec,
+		key: key, fp: fp, events: &eventBuffer{}, done: make(chan struct{}),
+		enqueued: time.Now(), state: stateQueued,
+	}
+	if sr := s.store.get(key); sr != nil {
+		// Cache hit at admission: the job is born terminal, no worker runs.
+		j.state = stateDone
+		j.result = sr
+		close(j.done)
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+		s.mu.Unlock()
+		s.met.cacheHits.Inc()
+		s.cfg.logf("job %s: cache hit (key %016x)", j.id, key)
+		if err := s.persistQueue(); err != nil {
+			s.cfg.logf("job %s: persist queue: %v", j.id, err)
+		}
+		return j, nil
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextSeq-- // not admitted; reuse the seq
+		s.mu.Unlock()
+		s.met.jobsRejected.Inc()
+		return nil, &submitError{code: 429, msg: fmt.Sprintf("serve: queue full (%d jobs waiting)", s.cfg.QueueDepth)}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+	s.met.queueDepth.Set(float64(len(s.queue)))
+	s.cfg.logf("job %s: queued (key %016x, budget %s)", j.id, key, spec.budget())
+	if err := s.persistQueue(); err != nil {
+		s.cfg.logf("job %s: persist queue: %v", j.id, err)
+	}
+	return j, nil
+}
+
+func (s *Server) workerLoop() {
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.met.queueDepth.Set(float64(len(s.queue)))
+			s.met.workersBusy.Set(float64(s.busy.Add(1)))
+			s.runJob(j)
+			s.met.workersBusy.Set(float64(s.busy.Add(-1)))
+		}
+	}
+}
+
+// ckptPath is the per-cache-key checkpoint file: two jobs with the same key
+// are the same search, so a follower resumed after a crash picks up the
+// leader's waves.
+func (s *Server) ckptPath(key uint64) string {
+	return filepath.Join(s.cfg.StateDir, fmt.Sprintf("ckpt-%016x.ckpt", key))
+}
+
+func (s *Server) runJob(j *job) {
+	// Cache fast path: a duplicate submitted while this job sat in the
+	// queue may already have a stored answer.
+	if sr := s.store.get(j.key); sr != nil {
+		s.met.cacheHits.Inc()
+		j.finish(sr)
+		s.notifyDone(j, sr)
+		return
+	}
+	// Singleflight: if the same key is solving on another worker, wait for
+	// it and serve its result instead of duplicating the search.
+	s.mu.Lock()
+	if leader, dup := s.inflight[j.key]; dup {
+		s.mu.Unlock()
+		select {
+		case <-leader.done:
+		case <-s.baseCtx.Done():
+			j.requeued() // drained while waiting; the ledger re-admits it
+			return
+		}
+		if sr := s.store.get(j.key); sr != nil {
+			s.met.cacheHits.Inc()
+			j.finish(sr)
+			s.notifyDone(j, sr)
+			return
+		}
+		// The leader failed; fall through and try the solve ourselves.
+	}
+	s.inflight[j.key] = j
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, j.key)
+		s.mu.Unlock()
+	}()
+
+	s.met.cacheMisses.Inc()
+	j.setRunning()
+	start := time.Now()
+	res, err := s.solve(j)
+	if err != nil {
+		if s.baseCtx.Err() != nil {
+			j.requeued()
+			s.cfg.logf("job %s: drained mid-solve (%v); will resume from checkpoint", j.id, err)
+			return
+		}
+		s.met.jobsFailed.Inc()
+		j.fail(err.Error())
+		s.cfg.logf("job %s: failed: %v", j.id, err)
+		if perr := s.persistQueue(); perr != nil {
+			s.cfg.logf("job %s: persist queue: %v", j.id, perr)
+		}
+		return
+	}
+	if res.Solver.Status == milp.StatusInterrupted && s.baseCtx.Err() != nil {
+		// Drain: the checkpoint written at the last wave boundary carries
+		// the search; the restarted daemon re-admits the job and resumes.
+		j.requeued()
+		s.cfg.logf("job %s: drained at %d nodes; checkpoint retained", j.id, res.Solver.Nodes)
+		return
+	}
+	sr := newStoredResult(j.key, j.fp, j.spec, res)
+	if err := s.store.put(j.key, sr); err != nil {
+		s.met.jobsFailed.Inc()
+		j.fail(fmt.Sprintf("serve: persist result: %v", err))
+		return
+	}
+	os.Remove(s.ckptPath(j.key)) // the stored result supersedes the snapshot
+	s.met.jobsCompleted.Inc()
+	s.met.jobSeconds.ObserveDuration(time.Since(start))
+	s.met.buildSeconds.ObserveDuration(res.Timings.Build)
+	s.met.solveSeconds.ObserveDuration(res.Timings.Solve)
+	s.met.verifySeconds.ObserveDuration(res.Timings.Verify)
+	j.finish(sr)
+	s.cfg.logf("job %s: %s gap=%s nodes=%d in %s", j.id, sr.Status, sr.Gap, sr.Nodes, time.Since(start).Round(time.Millisecond))
+	if err := s.persistQueue(); err != nil {
+		s.cfg.logf("job %s: persist queue: %v", j.id, err)
+	}
+	s.notifyDone(j, sr)
+}
+
+func (s *Server) notifyDone(j *job, sr *StoredResult) {
+	if s.OnJobDone != nil {
+		s.OnJobDone(j.id, sr)
+	}
+}
+
+// solve runs (or resumes) the job's search under its deadline, counting the
+// solver invocation. The checkpoint file is keyed by the cache key and
+// validated by the milp fingerprint, so a stale or foreign snapshot falls
+// back to a fresh solve instead of poisoning the search.
+func (s *Server) solve(j *job) (*core.Result, error) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.spec.budget()+s.cfg.DeadlineGrace)
+	defer cancel()
+	opts := j.spec.options(obs.NewTracer(j.events))
+	opts.Ctx = ctx
+	opts.Checkpoint = s.ckptPath(j.key)
+	opts.CheckpointEvery = s.cfg.CheckpointEvery
+
+	pr, err := j.spec.problem()
+	if err != nil {
+		return nil, err
+	}
+	s.met.solverRuns.Inc()
+	if snap, lerr := checkpoint.Load(opts.Checkpoint); lerr == nil && snap.BnB != nil && snap.BnB.Fingerprint == j.fp {
+		s.cfg.logf("job %s: resuming from checkpoint (%d nodes done)", j.id, snap.BnB.Nodes)
+		return pr.Resume(snap.BnB, opts)
+	}
+	return pr.Solve(opts)
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Jobs        map[string]int `json:"jobs"` // count per state
+	QueueDepth  int            `json:"queue_depth"`
+	WorkersBusy int64          `json:"workers_busy"`
+	Results     int            `json:"results"`
+	Draining    bool           `json:"draining"`
+}
+
+func (s *Server) stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Jobs:        map[string]int{},
+		QueueDepth:  len(s.queue),
+		WorkersBusy: s.busy.Load(),
+		Draining:    s.draining,
+	}
+	for _, j := range s.order {
+		st.Jobs[j.getState()]++
+	}
+	s.mu.Unlock()
+	st.Results = s.store.len()
+	return st
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// StoredResult is one completed gap search in the results store, keyed by
+// the cache key (fingerprint + solve options). Float fields are formatted
+// strings rather than JSON numbers because ±Inf is legitimate solver state
+// (an infeasible job's bound) and JSON has no encoding for it; Float64
+// round-trips every value exactly at 'g'/-1 precision.
+type StoredResult struct {
+	Key         string          `json:"key"`         // %016x cache key
+	Fingerprint string          `json:"fingerprint"` // %016x milp search fingerprint
+	Status      string          `json:"status"`
+	Gap         string          `json:"gap"`
+	Normalized  string          `json:"normalized_gap"`
+	OptValue    string          `json:"opt_value"`
+	HeurValue   string          `json:"heur_value"`
+	Bound       string          `json:"bound"`
+	Nodes       int64           `json:"nodes"`
+	LPSolves    int64           `json:"lp_solves"`
+	LPIters     int64           `json:"lp_iters"`
+	WarmSolves  int64           `json:"warm_solves"`
+	WarmFallbks int64           `json:"warm_fallbacks"`
+	WallSec     string          `json:"wall_sec"`
+	Demands     []string        `json:"demands,omitempty"`
+	Spec        json.RawMessage `json:"spec"`
+}
+
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// newStoredResult projects a verified core result onto its wire form.
+// WallSec is the solver's own elapsed time (deterministic inputs produce
+// nondeterministic wall times; everything else in the record is a pure
+// function of the cache key).
+func newStoredResult(key, fp uint64, spec *Spec, res *core.Result) *StoredResult {
+	sr := &StoredResult{
+		Key:         fmt.Sprintf("%016x", key),
+		Fingerprint: fmt.Sprintf("%016x", fp),
+		Status:      res.Solver.Status.String(),
+		Gap:         ff(res.Gap),
+		Normalized:  ff(res.NormalizedGap),
+		OptValue:    ff(res.OptValue),
+		HeurValue:   ff(res.HeurValue),
+		Bound:       ff(res.Solver.Bound),
+		Nodes:       int64(res.Solver.Nodes),
+		LPSolves:    int64(res.Solver.LPSolves),
+		LPIters:     int64(res.Solver.LPIters),
+		WarmSolves:  int64(res.Solver.WarmLPSolves),
+		WarmFallbks: int64(res.Solver.WarmLPFallbacks),
+		WallSec:     ff(res.Solver.Elapsed.Seconds()),
+		Spec:        json.RawMessage(spec.canonicalJSON()),
+	}
+	if res.Demands != nil {
+		sr.Demands = make([]string, len(res.Demands))
+		for i, d := range res.Demands {
+			sr.Demands[i] = ff(d)
+		}
+	}
+	return sr
+}
+
+// store is the durable results ledger: an in-memory map mirrored to one JSON
+// file (sorted by key, rewritten atomically via temp + rename) on every
+// insert. Reads after a daemon restart hit the reloaded map, which is what
+// turns a repeat sweep into cache hits across process lifetimes.
+type store struct {
+	mu      sync.Mutex
+	path    string
+	results map[uint64]*StoredResult
+}
+
+func openStore(path string) (*store, error) {
+	st := &store{path: path, results: make(map[uint64]*StoredResult)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var list []*StoredResult
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("serve: results store %s: %w", path, err)
+	}
+	for _, sr := range list {
+		k, err := strconv.ParseUint(sr.Key, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: results store %s: bad key %q", path, sr.Key)
+		}
+		st.results[k] = sr
+	}
+	return st, nil
+}
+
+// get returns the stored result for key, or nil.
+func (s *store) get(key uint64) *StoredResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.results[key]
+}
+
+// put inserts (or overwrites) the result and rewrites the ledger file.
+func (s *store) put(key uint64, sr *StoredResult) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results[key] = sr
+	return s.flushLocked()
+}
+
+func (s *store) flushLocked() error {
+	keys := make([]uint64, 0, len(s.results))
+	for k := range s.results {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	list := make([]*StoredResult, len(keys))
+	for i, k := range keys {
+		list[i] = s.results[k]
+	}
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(s.path), ".results-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// len reports how many results are stored.
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
+}
