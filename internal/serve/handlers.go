@@ -152,6 +152,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			for _, rec := range recs {
 				enc.Encode(rec)
 			}
+			// Overflow trailer: without it a stream truncated by the event
+			// buffer cap would be indistinguishable from a complete one.
+			if n := j.events.droppedCount(); n > 0 {
+				enc.Encode(struct {
+					Kind    string `json:"kind"`
+					Dropped int    `json:"dropped"`
+				}{"events_dropped", n})
+			}
 			return
 		case <-r.Context().Done():
 			return

@@ -226,8 +226,12 @@ func (s *Spec) options(tracer *obs.Tracer) milp.Options {
 //     alias. The spec pins the exact instance — and carries the
 //     solve-determining options (engine, pricing, warm-start) the ledger
 //     key must distinguish because they change effort counters. The budget
-//     is excluded deliberately: it is a deadline, not a different search,
-//     so a resubmission with a bigger budget reuses the stored answer;
+//     is excluded deliberately: it is a deadline, not a different search.
+//     The exclusion is sound because only budget-independent answers are
+//     ever stored (see cacheable) — a truncated solve leaves its
+//     checkpoint behind instead of a store entry, so a bigger-budget
+//     resubmission resumes the search rather than inheriting the
+//     truncation as a permanent cache hit;
 //   - the presolve setting of the heuristic-side one-shot LPs (a constant
 //     in this build, recorded so a future toggle cannot silently alias).
 //

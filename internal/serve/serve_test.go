@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/obs"
 )
 
 // figure1Spec is the fast fixture: the paper's Figure-1 example solves to
@@ -503,11 +504,162 @@ func TestCacheKeyComposition(t *testing.T) {
 		}
 	}
 	// Budget is a deadline, not a solve-determining option at fixed tree:
-	// it deliberately shares the key. (Interrupted results are cached as
-	// the answer for their key; resubmitting with a bigger budget reuses
-	// them — documented daemon semantics.)
+	// it deliberately shares the key. (Sound because only budget-independent
+	// terminal results are stored — see cacheable and
+	// TestTruncatedResultNotCached.)
 	if mk(func(s *Spec) { s.BudgetSec = 60 }) != base {
 		t.Fatal("budget changed the cache key")
+	}
+}
+
+// TestTruncatedResultNotCached: a budget-limited (non-terminal) result is
+// reported to its own client but never stored — the cache key excludes the
+// budget, so storing it would serve the truncation to every bigger-budget
+// resubmission forever. The resubmission must re-run the solver instead of
+// hitting the cache.
+func TestTruncatedResultNotCached(t *testing.T) {
+	s := newServer(t, testConfig(t))
+	s.Start()
+	spec := func(budget float64) *Spec {
+		return &Spec{Topology: "b4", Heuristic: "dp", Pairs: 12, Seed: 1, BudgetSec: budget}
+	}
+	j1, err := s.submit(spec(0.25))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	j1 = waitTerminal(t, s, j1.id, 60*time.Second)
+	if j1.getState() != stateDone {
+		t.Fatalf("budget-limited job %s: %s", j1.getState(), j1.errMsg)
+	}
+	if j1.result.Status == "optimal" {
+		t.Fatal("b4/12-pair job proved optimality in 0.25s — budget did not bind")
+	}
+	if s.store.len() != 0 {
+		t.Fatalf("budget-truncated %s result was stored", j1.result.Status)
+	}
+	// A bigger-budget resubmission of the same key is not answered from the
+	// cache: it runs (or resumes) the search.
+	j2, err := s.submit(spec(0.5))
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if j2.key != j1.key {
+		t.Fatalf("budget moved the cache key: %016x vs %016x", j2.key, j1.key)
+	}
+	if j2.getState() == stateDone {
+		t.Fatal("truncated result served as a cache hit at admission")
+	}
+	waitTerminal(t, s, j2.id, 60*time.Second)
+	if runs := s.met.solverRuns.Value(); runs != 2 {
+		t.Fatalf("resubmission after truncation took %d solver runs, want 2", runs)
+	}
+	if hits := s.met.cacheHits.Value(); hits != 0 {
+		t.Fatalf("truncated result produced %d cache hits, want 0", hits)
+	}
+}
+
+// TestSingleflightLeaderFailure: when the singleflight leader fails, waiting
+// followers must re-claim leadership and run the solve themselves — this
+// fall-through used to modify s.inflight unlocked and then unlock an
+// unlocked mutex, crashing the daemon.
+func TestSingleflightLeaderFailure(t *testing.T) {
+	cfg := testConfig(t)
+	s := newServer(t, cfg)
+	// Break result persistence: the store's flush renames onto a directory
+	// and fails, so every leader solves and then fails, forcing followers
+	// through the leader-failed path.
+	s.store.path = cfg.StateDir
+	s.Start()
+	var jobs []*job
+	for i := 0; i < 3; i++ {
+		j, err := s.submit(figure1Spec())
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		got := waitTerminal(t, s, j.id, 60*time.Second)
+		if got.getState() != stateFailed {
+			t.Fatalf("job %s reached %s with a broken store, want failed", got.id, got.getState())
+		}
+		if !strings.Contains(got.errMsg, "persist result") {
+			t.Fatalf("job %s failed for the wrong reason: %s", got.id, got.errMsg)
+		}
+	}
+}
+
+// TestRestoreQueueBeyondDepth: a ledger written by a daemon killed under
+// full load holds more queued records than QueueDepth (running jobs persist
+// as queued). The restarted daemon must re-admit all of them — refusing to
+// start would strand the ledger — while new submissions stay capped.
+func TestRestoreQueueBeyondDepth(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 2
+	qs := &checkpoint.QueueState{NextSeq: 3}
+	for seed := int64(1); seed <= 3; seed++ {
+		spec := &Spec{Topology: "figure1", Heuristic: "dp", Pairs: 3, Seed: seed, BudgetSec: 30}
+		if _, _, err := spec.canonicalize(cfg.DefaultBudget, cfg.MaxBudget); err != nil {
+			t.Fatalf("canonicalize: %v", err)
+		}
+		qs.Jobs = append(qs.Jobs, checkpoint.JobRecord{
+			ID: fmt.Sprintf("j%06d", seed), Seq: uint64(seed), State: checkpoint.JobQueued,
+			Key: uint64(seed), Spec: spec.canonicalJSON(), EnqueuedUnixNano: time.Now().UnixNano(),
+		})
+	}
+	w := &checkpoint.Writer{Path: filepath.Join(cfg.StateDir, "queue.ckpt")}
+	if err := w.Save(&checkpoint.Snapshot{Queue: qs}); err != nil {
+		t.Fatalf("save ledger: %v", err)
+	}
+	s := newServer(t, cfg)
+	if got := len(s.queue); got != 3 {
+		t.Fatalf("restored queue holds %d jobs, want 3", got)
+	}
+	// Admission still enforces QueueDepth against the restored backlog.
+	if _, err := s.submit(figure1Spec()); err == nil {
+		t.Fatal("submission above QueueDepth accepted")
+	}
+	s.Start()
+	for _, id := range []string{"j000001", "j000002", "j000003"} {
+		j := waitTerminal(t, s, id, 60*time.Second)
+		if j.getState() != stateDone {
+			t.Fatalf("restored job %s: %s (%s)", id, j.getState(), j.errMsg)
+		}
+	}
+}
+
+// TestEventStreamReportsDroppedEvents: when a job's event buffer overflows,
+// the NDJSON stream ends with an events_dropped trailer so a truncated
+// stream is distinguishable from a complete one.
+func TestEventStreamReportsDroppedEvents(t *testing.T) {
+	s := newServer(t, testConfig(t))
+	s.Start()
+	j, err := s.submit(figure1Spec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitTerminal(t, s, j.id, 60*time.Second)
+	for i := 0; i < maxBufferedEvents+7; i++ {
+		j.events.Emit(obs.Event{Kind: obs.KindIncumbent})
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.id + "/events")
+	if err != nil {
+		t.Fatalf("get events: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var trailer struct {
+		Kind    string `json:"kind"`
+		Dropped int    `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatalf("last stream line is not JSON: %v\n%s", err, lines[len(lines)-1])
+	}
+	if trailer.Kind != "events_dropped" || trailer.Dropped < 7 {
+		t.Fatalf("overflowed stream did not end with a dropped trailer: %+v", trailer)
 	}
 }
 

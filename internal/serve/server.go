@@ -213,6 +213,13 @@ func (b *eventBuffer) snapshot(from int) ([]obs.Record, int) {
 	return b.recs[from:], len(b.recs)
 }
 
+// droppedCount reports how many events overflowed the buffer.
+func (b *eventBuffer) droppedCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
 // Server is the daemon: admission, queue, pool, store, and handlers behind
 // one http.Handler. Create with New, start the pool with Start, and stop
 // with Shutdown (which drains gracefully: in-flight jobs checkpoint and
@@ -223,6 +230,8 @@ type Server struct {
 
 	store *store
 	qw    *checkpoint.Writer
+	// persistMu serializes ledger snapshot+write pairs; see persistQueue.
+	persistMu sync.Mutex
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -293,6 +302,19 @@ func (s *Server) restoreQueue() error {
 		return fmt.Errorf("serve: %s does not hold a queue snapshot", s.qw.Path)
 	}
 	s.nextSeq = snap.Queue.NextSeq
+	// Running jobs persist as JobQueued, so a daemon killed under full load
+	// leaves up to QueueDepth+Workers queued records. Grow the channel to
+	// re-admit all of them — refusing to start would strand the ledger —
+	// while submit keeps capping NEW admissions at cfg.QueueDepth.
+	queued := 0
+	for _, rec := range snap.Queue.Jobs {
+		if rec.State != checkpoint.JobDone && rec.State != checkpoint.JobFailed {
+			queued++
+		}
+	}
+	if queued > cap(s.queue) {
+		s.queue = make(chan *job, queued)
+	}
 	for _, rec := range snap.Queue.Jobs {
 		var spec Spec
 		if err := json.Unmarshal([]byte(rec.Spec), &spec); err != nil {
@@ -318,6 +340,9 @@ func (s *Server) restoreQueue() error {
 		switch rec.State {
 		case checkpoint.JobDone:
 			j.state = stateDone
+			// Nil for a job that finished budget-truncated: such results
+			// are deliberately never stored (see cacheable), so after a
+			// restart the job reads done with no result attached.
 			j.result = s.store.get(rec.Key)
 			close(j.done)
 		case checkpoint.JobFailed:
@@ -326,11 +351,7 @@ func (s *Server) restoreQueue() error {
 			close(j.done)
 		default:
 			j.state = stateQueued
-			select {
-			case s.queue <- j:
-			default:
-				return fmt.Errorf("serve: queue ledger holds more queued jobs than QueueDepth %d", s.cfg.QueueDepth)
-			}
+			s.queue <- j // cannot block: the channel was sized to the queued count above
 		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j)
@@ -385,8 +406,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // persistQueue writes the job ledger (every admitted job, in admission
-// order) through the atomic checkpoint writer.
+// order) through the atomic checkpoint writer. persistMu spans the snapshot
+// AND the write: checkpoint.Writer has no internal lock, so two concurrent
+// persists could otherwise rename out of order and leave the older snapshot
+// on disk, dropping the most recent state transition.
 func (s *Server) persistQueue() error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
 	s.mu.Lock()
 	qs := &checkpoint.QueueState{NextSeq: s.nextSeq, Jobs: make([]checkpoint.JobRecord, 0, len(s.order))}
 	for _, j := range s.order {
@@ -459,14 +485,18 @@ func (s *Server) submit(spec *Spec) (*job, error) {
 		}
 		return j, nil
 	}
-	select {
-	case s.queue <- j:
-	default:
+	// The admission cap is cfg.QueueDepth even when restoreQueue grew the
+	// channel past it to re-admit a crashed daemon's backlog. Checking len
+	// under s.mu is race-free: submit is the only concurrent sender, so the
+	// queue can only drain between the check and the send — which also
+	// makes the send below non-blocking (len < QueueDepth <= cap).
+	if len(s.queue) >= s.cfg.QueueDepth {
 		s.nextSeq-- // not admitted; reuse the seq
 		s.mu.Unlock()
 		s.met.jobsRejected.Inc()
 		return nil, &submitError{code: 429, msg: fmt.Sprintf("serve: queue full (%d jobs waiting)", s.cfg.QueueDepth)}
 	}
+	s.queue <- j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	s.mu.Unlock()
@@ -508,10 +538,19 @@ func (s *Server) runJob(j *job) {
 		s.notifyDone(j, sr)
 		return
 	}
-	// Singleflight: if the same key is solving on another worker, wait for
-	// it and serve its result instead of duplicating the search.
+	// Singleflight: while the same key is solving on another worker, wait
+	// for the leader and serve its result instead of duplicating the
+	// search. A leader can finish without a stored answer (failure, or a
+	// budget-truncated solve — see cacheable), so a woken follower that
+	// finds the store empty loops to claim leadership itself, re-acquiring
+	// s.mu each iteration; another follower may have claimed first, in
+	// which case it waits on that one.
 	s.mu.Lock()
-	if leader, dup := s.inflight[j.key]; dup {
+	for {
+		leader, dup := s.inflight[j.key]
+		if !dup {
+			break
+		}
 		s.mu.Unlock()
 		select {
 		case <-leader.done:
@@ -525,15 +564,20 @@ func (s *Server) runJob(j *job) {
 			s.notifyDone(j, sr)
 			return
 		}
-		// The leader failed; fall through and try the solve ourselves.
+		s.mu.Lock()
 	}
 	s.inflight[j.key] = j
 	s.mu.Unlock()
-	defer func() {
+	// clearInflight releases the key BEFORE the job signals done/failed, so
+	// a waiting follower that finds no stored result can claim leadership
+	// immediately instead of spinning on a map entry that is about to
+	// vanish. The defer is the panic backstop; the delete is idempotent.
+	clearInflight := func() {
 		s.mu.Lock()
 		delete(s.inflight, j.key)
 		s.mu.Unlock()
-	}()
+	}
+	defer clearInflight()
 
 	s.met.cacheMisses.Inc()
 	j.setRunning()
@@ -546,6 +590,7 @@ func (s *Server) runJob(j *job) {
 			return
 		}
 		s.met.jobsFailed.Inc()
+		clearInflight()
 		j.fail(err.Error())
 		s.cfg.logf("job %s: failed: %v", j.id, err)
 		if perr := s.persistQueue(); perr != nil {
@@ -561,23 +606,54 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	sr := newStoredResult(j.key, j.fp, j.spec, res)
-	if err := s.store.put(j.key, sr); err != nil {
-		s.met.jobsFailed.Inc()
-		j.fail(fmt.Sprintf("serve: persist result: %v", err))
-		return
+	if cacheable(j.spec, res) {
+		if err := s.store.put(j.key, sr); err != nil {
+			s.met.jobsFailed.Inc()
+			clearInflight()
+			j.fail(fmt.Sprintf("serve: persist result: %v", err))
+			return
+		}
+		os.Remove(s.ckptPath(j.key)) // the stored result supersedes the snapshot
+	} else {
+		// A budget-truncated answer is reported to this job's client but
+		// never stored: the cache key excludes the budget, so storing it
+		// would serve the truncation to every later resubmission no matter
+		// how large its budget. The checkpoint stays on disk instead, so
+		// the next submission of this key resumes the search.
+		s.cfg.logf("job %s: %s result not cached (budget-truncated); checkpoint retained", j.id, sr.Status)
 	}
-	os.Remove(s.ckptPath(j.key)) // the stored result supersedes the snapshot
 	s.met.jobsCompleted.Inc()
 	s.met.jobSeconds.ObserveDuration(time.Since(start))
 	s.met.buildSeconds.ObserveDuration(res.Timings.Build)
 	s.met.solveSeconds.ObserveDuration(res.Timings.Solve)
 	s.met.verifySeconds.ObserveDuration(res.Timings.Verify)
+	clearInflight()
 	j.finish(sr)
 	s.cfg.logf("job %s: %s gap=%s nodes=%d in %s", j.id, sr.Status, sr.Gap, sr.Nodes, time.Since(start).Round(time.Millisecond))
 	if err := s.persistQueue(); err != nil {
 		s.cfg.logf("job %s: persist queue: %v", j.id, err)
 	}
 	s.notifyDone(j, sr)
+}
+
+// cacheable reports whether res is a budget-independent answer that may be
+// stored and replayed to every later submission of the same cache key (the
+// key deliberately excludes the budget — see cacheKey). Optimal,
+// infeasible, and unbounded closures hold under any budget. A feasible stop
+// is budget-independent only when it reached the spec's TargetGap: the
+// deterministic wave order stops such a search at the same node under every
+// budget that gets that far. A feasible stop from the time or stall rule —
+// like an interrupted or no-incumbent one — is a truncation of this
+// particular budget, so caching it would freeze the search forever.
+func cacheable(spec *Spec, res *core.Result) bool {
+	switch res.Solver.Status {
+	case milp.StatusOptimal, milp.StatusInfeasible, milp.StatusUnbounded:
+		return true
+	case milp.StatusFeasible:
+		return spec.TargetGap > 0 && res.Gap >= spec.TargetGap
+	default: // interrupted, no-incumbent
+		return false
+	}
 }
 
 func (s *Server) notifyDone(j *job, sr *StoredResult) {

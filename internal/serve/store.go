@@ -109,12 +109,24 @@ func (s *store) get(key uint64) *StoredResult {
 	return s.results[key]
 }
 
-// put inserts (or overwrites) the result and rewrites the ledger file.
+// put inserts (or overwrites) the result and rewrites the ledger file. A
+// failed flush rolls the in-memory insert back: otherwise the unflushed
+// result would be served as a cache hit while the job that produced it
+// reports a persistence failure.
 func (s *store) put(key uint64, sr *StoredResult) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	prev, had := s.results[key]
 	s.results[key] = sr
-	return s.flushLocked()
+	if err := s.flushLocked(); err != nil {
+		if had {
+			s.results[key] = prev
+		} else {
+			delete(s.results, key)
+		}
+		return err
+	}
+	return nil
 }
 
 func (s *store) flushLocked() error {
