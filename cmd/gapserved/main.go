@@ -10,6 +10,11 @@
 // checkpoint to the bit-identical answer. SIGTERM/SIGINT drain gracefully:
 // in-flight jobs checkpoint and re-queue, then the process exits 0.
 //
+// Health is split: /healthz reports liveness (200 whenever the process
+// serves HTTP) while /readyz reports readiness (503 until the persisted
+// queue is restored, and again once a drain begins). Rejections carry a
+// Retry-After hint sized from the queue backlog.
+//
 // Exit codes: 0 clean shutdown, 1 startup or serve error, 2 flag error.
 package main
 

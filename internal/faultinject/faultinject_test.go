@@ -44,6 +44,58 @@ func TestParseEmptyAndErrors(t *testing.T) {
 	}
 }
 
+// TestParseTypedErrors pins the error taxonomy: every Parse failure unwraps
+// to ErrBadPlan, an unrecognized op is an *UnknownOpError, and malformed
+// syntax is a *ParseError carrying the offending entry.
+func TestParseTypedErrors(t *testing.T) {
+	_, err := Parse("frobnicate:3", 0)
+	var uo *UnknownOpError
+	if !errors.As(err, &uo) || uo.Op != "frobnicate" {
+		t.Fatalf("unknown op error = %v, want *UnknownOpError{frobnicate}", err)
+	}
+	if !errors.Is(err, ErrBadPlan) {
+		t.Fatalf("unknown-op error does not unwrap to ErrBadPlan: %v", err)
+	}
+	for _, bad := range []string{"http-drop", "http-503:0", "http-latency:%0", "http-reset:~x", "lp-solve:1,lp-solve:2"} {
+		_, err := Parse(bad, 0)
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("spec %q: error %v, want *ParseError", bad, err)
+			continue
+		}
+		if !errors.Is(err, ErrBadPlan) {
+			t.Errorf("spec %q: error does not unwrap to ErrBadPlan", bad)
+		}
+		if pe.Entry == "" || pe.Reason == "" {
+			t.Errorf("spec %q: ParseError missing context: %+v", bad, pe)
+		}
+	}
+}
+
+// TestPeriodicTriggerFiresRepeatedly: op:%k fires on every kth occurrence,
+// unlike the one-shot fixed and seeded forms.
+func TestPeriodicTriggerFiresRepeatedly(t *testing.T) {
+	p, err := Parse("http-503:%3", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if n, fire := p.Hit(OpHTTP503); fire {
+			fired = append(fired, n)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
 func TestParseSeededIsDeterministic(t *testing.T) {
 	a, err := Parse("deadline:~50,lp-solve:~50", 42)
 	if err != nil {

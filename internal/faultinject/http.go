@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting HTTP reverse proxy: it forwards every request
+// to its target, consulting the plan's http-* ops on each one. It is the
+// network analogue of WrapFS — the client and daemon under test run their
+// production code paths unchanged while the wire between them misbehaves on
+// a deterministic schedule.
+//
+// Each incoming request counts one occurrence of every http-* op the plan
+// carries, in a fixed order (latency, then 503, then drop, then reset) so a
+// plan that schedules several ops at the same count behaves identically
+// everywhere. Latency composes with the others: a request can be delayed
+// and then dropped. 503, drop, and reset are exclusive — the first that
+// fires consumes the request.
+//
+// A request the proxy cannot deliver (target down, connection refused) is
+// answered 502, which a resilient client treats like any other transient
+// server failure.
+type Proxy struct {
+	// Latency is the http-latency delay (default 100ms).
+	Latency time.Duration
+	// Logf, when non-nil, receives one line per injected fault.
+	Logf func(format string, args ...any)
+
+	plan     *Plan
+	rp       *httputil.ReverseProxy
+	requests atomic.Int64
+	injected atomic.Int64
+}
+
+// NewProxy builds a proxy forwarding to target (a base URL such as
+// "http://127.0.0.1:8344"). A nil plan proxies faithfully — useful as the
+// fault-free reference leg of a chaos comparison.
+func NewProxy(target string, plan *Plan) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{plan: plan, Latency: 100 * time.Millisecond}
+	rp := httputil.NewSingleHostReverseProxy(u)
+	// NDJSON event streams must flow through without buffering to the end.
+	rp.FlushInterval = 100 * time.Millisecond
+	// The default handler logs to the global logger; keep the proxy quiet
+	// (a killed daemon produces a burst of refused connections by design)
+	// and answer 502 so the client sees an ordinary retryable failure.
+	rp.ErrorLog = log.New(io.Discard, "", 0)
+	rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	p.rp = rp
+	return p, nil
+}
+
+// Requests reports how many requests the proxy has seen; Injected how many
+// of them had at least one fault injected.
+func (p *Proxy) Requests() int64 { return p.requests.Load() }
+func (p *Proxy) Injected() int64 { return p.injected.Load() }
+
+func (p *Proxy) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.requests.Add(1)
+	if n, fire := p.plan.Hit(OpHTTPLatency); fire {
+		p.injected.Add(1)
+		p.logf("faultinject: http-latency at request %d (%s %s): +%s", n, r.Method, r.URL.Path, p.Latency)
+		time.Sleep(p.Latency)
+	}
+	if n, fire := p.plan.Hit(OpHTTP503); fire {
+		p.injected.Add(1)
+		p.logf("faultinject: http-503 at request %d (%s %s)", n, r.Method, r.URL.Path)
+		// Deliberately no Retry-After: the client's fallback backoff is
+		// under test here, not its header handling.
+		http.Error(w, "faultinject: injected 503", http.StatusServiceUnavailable)
+		return
+	}
+	if n, fire := p.plan.Hit(OpHTTPDrop); fire {
+		p.injected.Add(1)
+		p.logf("faultinject: http-drop at request %d (%s %s)", n, r.Method, r.URL.Path)
+		p.abort(w, false)
+		return
+	}
+	if n, fire := p.plan.Hit(OpHTTPReset); fire {
+		p.injected.Add(1)
+		p.logf("faultinject: http-reset at request %d (%s %s)", n, r.Method, r.URL.Path)
+		p.abort(w, true)
+		return
+	}
+	p.rp.ServeHTTP(w, r)
+}
+
+// abort kills the client connection without an HTTP response: a plain close
+// for http-drop (EOF), SetLinger(0)+close for http-reset (RST). When the
+// ResponseWriter cannot be hijacked (e.g. HTTP/2), it falls back to an
+// empty 502 — still a failed request, just a politer one.
+func (p *Proxy) abort(w http.ResponseWriter, reset bool) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	if reset {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+	}
+	conn.Close()
+}

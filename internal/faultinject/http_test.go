@@ -1,0 +1,203 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// echoBackend answers every request 200 with a fixed body, counting hits.
+func echoBackend(t *testing.T) (*httptest.Server, *int) {
+	t.Helper()
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "backend ok")
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func proxyFor(t *testing.T, target string, spec string) (*Proxy, *httptest.Server) {
+	t.Helper()
+	plan, err := Parse(spec, 1)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	p, err := NewProxy(target, plan)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+func TestProxyPassesThroughWithNilPlan(t *testing.T) {
+	backend, hits := echoBackend(t)
+	p, err := NewProxy(backend.URL, nil)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(front.URL + "/x")
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || string(body) != "backend ok" {
+			t.Fatalf("get %d: %d %q", i, resp.StatusCode, body)
+		}
+	}
+	if *hits != 3 || p.Requests() != 3 || p.Injected() != 0 {
+		t.Fatalf("hits=%d requests=%d injected=%d, want 3/3/0", *hits, p.Requests(), p.Injected())
+	}
+}
+
+func TestProxyInjects503WithoutRetryAfter(t *testing.T) {
+	backend, hits := echoBackend(t)
+	p, front := proxyFor(t, backend.URL, "http-503:2")
+	for i := 1; i <= 3; i++ {
+		resp, err := http.Get(front.URL + "/x")
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		want := 200
+		if i == 2 {
+			want = http.StatusServiceUnavailable
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				t.Fatalf("injected 503 carries Retry-After %q; the proxy must not imitate the daemon's header", ra)
+			}
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("request %d: status %d, want %d", i, resp.StatusCode, want)
+		}
+	}
+	if *hits != 2 {
+		t.Fatalf("backend saw %d requests, want 2 (the 503 one must not be forwarded)", *hits)
+	}
+	if p.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", p.Injected())
+	}
+}
+
+func TestProxyDropAndResetKillTheConnection(t *testing.T) {
+	for _, tc := range []struct{ name, spec string }{
+		{"drop", "http-drop:2"},
+		{"reset", "http-reset:2"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			backend, hits := echoBackend(t)
+			_, front := proxyFor(t, backend.URL, tc.spec)
+			// Fresh client per request: a killed keep-alive connection must
+			// not bleed into the next probe.
+			get := func() (*http.Response, error) {
+				c := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+				return c.Get(front.URL + "/x")
+			}
+			if resp, err := get(); err != nil || resp.StatusCode != 200 {
+				t.Fatalf("request 1: %v %v", resp, err)
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if resp, err := get(); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				t.Fatalf("request 2 succeeded with %d; the connection should have been killed", resp.StatusCode)
+			}
+			if resp, err := get(); err != nil || resp.StatusCode != 200 {
+				t.Fatalf("request 3 after the fault: %v %v", resp, err)
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if *hits != 2 {
+				t.Fatalf("backend saw %d requests, want 2", *hits)
+			}
+		})
+	}
+}
+
+func TestProxyLatencyDelaysThenForwards(t *testing.T) {
+	backend, _ := echoBackend(t)
+	p, front := proxyFor(t, backend.URL, "http-latency:1")
+	p.Latency = 150 * time.Millisecond
+	start := time.Now()
+	resp, err := http.Get(front.URL + "/x")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("delayed request status %d, want 200", resp.StatusCode)
+	}
+	if d := time.Since(start); d < p.Latency {
+		t.Fatalf("request completed in %s, want >= %s", d, p.Latency)
+	}
+}
+
+func TestProxyAnswers502WhenTargetIsDown(t *testing.T) {
+	backend, _ := echoBackend(t)
+	dead := backend.URL
+	backend.Close() // the port is now refused — a SIGKILLed daemon
+	p, err := NewProxy(dead, nil)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/x")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestProxyPeriodic503(t *testing.T) {
+	backend, hits := echoBackend(t)
+	_, front := proxyFor(t, backend.URL, "http-503:%2")
+	bad := 0
+	for i := 1; i <= 6; i++ {
+		resp, err := http.Get(front.URL + "/x")
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			bad++
+		}
+	}
+	if bad != 3 || *hits != 3 {
+		t.Fatalf("injected %d 503s, backend saw %d; want 3/3", bad, *hits)
+	}
+}
+
+func TestNewProxyRejectsBadTarget(t *testing.T) {
+	if _, err := NewProxy("://nope", nil); err == nil {
+		t.Fatal("bad target URL accepted")
+	}
+}
+
+// TestErrBadPlanDistinctFromErrInjected guards the two sentinels against
+// collapsing: a plan that fails to parse must not read as an injected fault.
+func TestErrBadPlanDistinctFromErrInjected(t *testing.T) {
+	_, err := Parse("http-drop:zero", 0)
+	if err == nil || errors.Is(err, ErrInjected) {
+		t.Fatalf("parse error %v overlaps ErrInjected", err)
+	}
+}

@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
-// jobView is the wire form of a job's state.
-type jobView struct {
+// JobView is the wire form of a job's state — what POST /v1/jobs and
+// GET /v1/jobs/{id} return. Exported so HTTP clients (internal/sweep) decode
+// the same shape the daemon encodes instead of shadowing it.
+type JobView struct {
 	ID       string          `json:"id"`
 	State    string          `json:"state"`
 	Key      string          `json:"key"`
@@ -20,10 +23,10 @@ type jobView struct {
 	Result   *StoredResult   `json:"result,omitempty"`
 }
 
-func (s *Server) viewOf(j *job) jobView {
+func (s *Server) viewOf(j *job) JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return jobView{
+	return JobView{
 		ID:       j.id,
 		State:    j.state,
 		Key:      fmt.Sprintf("%016x", j.key),
@@ -54,9 +57,15 @@ func (s *Server) initMux() {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleGetResult)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// /healthz is liveness — "this process is up" — and stays unconditional:
+	// a draining daemon is alive and must not be restarted by its supervisor
+	// mid-drain. /readyz is readiness — "this process will accept a job" —
+	// and goes 503 before the restored backlog is re-admitted and again the
+	// moment a drain begins, so clients and balancers route elsewhere.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.cfg.Registry.WriteProm(w)
@@ -80,6 +89,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var se *submitError
 		if errors.As(err, &se) {
+			if se.retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(int(se.retryAfter.Round(time.Second)/time.Second)))
+			}
 			writeError(w, se.code, se.msg)
 		} else {
 			writeError(w, http.StatusInternalServerError, err.Error())
@@ -97,7 +109,7 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := append([]*job(nil), s.order...)
 	s.mu.Unlock()
-	views := make([]jobView, len(jobs))
+	views := make([]JobView, len(jobs))
 	for i, j := range jobs {
 		views[i] = s.viewOf(j)
 	}
@@ -186,4 +198,23 @@ func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.stats())
+}
+
+// handleReadyz answers readiness: 503 with a Retry-After hint while the
+// daemon is not accepting jobs (drain in progress, or the persisted backlog
+// not yet re-admitted), plain "ok" otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		msg := "not ready\n"
+		if draining {
+			msg = "draining\n"
+		}
+		http.Error(w, strings.TrimSuffix(msg, "\n"), http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
 }

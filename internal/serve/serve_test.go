@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -83,7 +84,7 @@ func TestSubmitAndSolveOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatalf("post: %v", err)
 	}
-	var view jobView
+	var view JobView
 	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
@@ -100,7 +101,7 @@ func TestSubmitAndSolveOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatalf("get job: %v", err)
 	}
-	var done jobView
+	var done JobView
 	json.NewDecoder(resp.Body).Decode(&done)
 	resp.Body.Close()
 	if done.State != stateDone || done.Result == nil {
@@ -660,6 +661,137 @@ func TestEventStreamReportsDroppedEvents(t *testing.T) {
 	}
 	if trailer.Kind != "events_dropped" || trailer.Dropped < 7 {
 		t.Fatalf("overflowed stream did not end with a dropped trailer: %+v", trailer)
+	}
+}
+
+// TestRetryAfterOnRejection: 429 (queue full) and 503 (draining) responses
+// carry a Retry-After header so a resilient client (gapsweep) can pace its
+// retries off the daemon's own hint instead of guessing.
+func TestRetryAfterOnRejection(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 2
+	s := newServer(t, cfg) // pool not started: nothing drains the queue
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	post := func() *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(&Spec{Topology: "figure1", Heuristic: "dp", Pairs: 3, Seed: int64(len(s.order) + 1)})
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	for i := 0; i < 2; i++ {
+		if resp := post(); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("429 Retry-After %q, want an integer in [1, 30]", resp.Header.Get("Retry-After"))
+	}
+	// The hint scales with the backlog: 2 queued jobs over 2 workers → 2s.
+	if want := 1 + cfg.QueueDepth/cfg.Workers; ra != want {
+		t.Fatalf("429 Retry-After %d, want %d (1 + queued/workers)", ra, want)
+	}
+
+	// Draining: 503 with the restart-scale hint.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	resp = post()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drain status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("drain Retry-After %q, want \"1\"", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestReadyzSplitsFromHealthz: /healthz stays an unconditional liveness "ok"
+// while /readyz flips to 503 before restore completes and once a drain
+// begins.
+func TestReadyzSplitsFromHealthz(t *testing.T) {
+	s := newServer(t, testConfig(t))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, strings.TrimSpace(string(body))
+	}
+
+	if code, body := get("/readyz"); code != 200 || body != "ok" {
+		t.Fatalf("fresh readyz = %d %q, want 200 ok", code, body)
+	}
+	// Before restoreQueue completes the server is alive but not ready; the
+	// window is not reachable over HTTP in-process (New returns only after
+	// restore), so flip the gate directly to pin the handler's contract.
+	s.ready.Store(false)
+	if code, body := get("/readyz"); code != 503 || body != "not ready" {
+		t.Fatalf("unrestored readyz = %d %q, want 503 \"not ready\"", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok" {
+		t.Fatalf("healthz while not ready = %d %q, want 200 ok", code, body)
+	}
+	s.ready.Store(true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	code, body := get("/readyz")
+	if code != 503 || body != "draining" {
+		t.Fatalf("draining readyz = %d %q, want 503 \"draining\"", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok" {
+		t.Fatalf("healthz while draining = %d %q, want 200 ok (liveness must not flap a drain)", code, body)
+	}
+}
+
+// TestKillSkipsDrainPersistence: Kill is the SIGKILL stand-in — the ledger
+// holds the admission-time persist (job queued), not a drain-time update, and
+// a restart on the same StateDir re-admits and completes the job.
+func TestKillSkipsDrainPersistence(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j, err := s.submit(&Spec{Topology: "figure1", Heuristic: "dp", Pairs: 3, Seed: 9})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s.Kill() // pool never started; the job is still queued in the ledger
+	snap, err := checkpoint.Load(filepath.Join(cfg.StateDir, "queue.ckpt"))
+	if err != nil || snap.Queue == nil || len(snap.Queue.Jobs) != 1 {
+		t.Fatalf("ledger after Kill: %+v, %v", snap, err)
+	}
+	if snap.Queue.Jobs[0].State != checkpoint.JobQueued {
+		t.Fatalf("job persisted as %d, want queued", snap.Queue.Jobs[0].State)
+	}
+	s2 := newServer(t, cfg)
+	s2.Start()
+	got := waitTerminal(t, s2, j.id, 60*time.Second)
+	if got.getState() != stateDone {
+		t.Fatalf("re-admitted job %s: %s (%s)", j.id, got.getState(), got.errMsg)
 	}
 }
 

@@ -247,6 +247,12 @@ type Server struct {
 	wg         sync.WaitGroup
 	started    bool
 
+	// ready gates /readyz: false until restoreQueue has re-admitted the
+	// persisted backlog, false again the moment a drain (or Kill) begins.
+	// /healthz stays an unconditional liveness "ok" — the split lets a load
+	// balancer stop routing to a draining daemon it should not yet restart.
+	ready atomic.Bool
+
 	// OnJobDone, when non-nil, is called after a job reaches done (not on
 	// cache hits at admission) — cmd/gapserved prints SUMMARY lines with it.
 	OnJobDone func(id string, sr *StoredResult)
@@ -285,6 +291,7 @@ func New(cfg Config) (*Server, error) {
 		cancel()
 		return nil, err
 	}
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -387,6 +394,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.ready.Store(false)
 	s.baseCancel()
 	stopped := make(chan struct{})
 	go func() {
@@ -403,6 +411,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = perr
 	}
 	return err
+}
+
+// Kill stops the server abruptly, WITHOUT the drain-time queue persistence —
+// the in-process approximation of SIGKILL for crash tests. The durable state
+// is whatever the last mutation-time persist and wave-cadence checkpoints
+// already wrote, which is exactly the guarantee a real kill -9 leaves behind:
+// a New on the same StateDir re-admits the queue and resumes the searches.
+func (s *Server) Kill() {
+	s.ready.Store(false)
+	s.baseCancel()
+	s.wg.Wait()
 }
 
 // persistQueue writes the job ledger (every admitted job, in admission
@@ -425,13 +444,31 @@ func (s *Server) persistQueue() error {
 	return s.qw.Save(&checkpoint.Snapshot{Queue: qs})
 }
 
-// submitError is an admission failure with its HTTP status.
+// submitError is an admission failure with its HTTP status. retryAfter,
+// when positive, becomes a Retry-After header: 429/503 rejections are
+// transient, and the hint spares well-behaved clients from guessing a
+// backoff against a queue whose depth they cannot see.
 type submitError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *submitError) Error() string { return e.msg }
+
+// retryAfterHint estimates when a rejected submission is worth retrying. For
+// a full queue it is a coarse queue-drain guess — one second per queued job
+// per worker, clamped to [1s, 30s]; the daemon cannot know job durations, so
+// the hint is pacing advice, not a promise. A draining daemon answers 1s
+// flat: the operator is restarting it, and "come back in a second" is the
+// honest schedule for a supervised restart.
+func (s *Server) retryAfterHint(queued int) time.Duration {
+	d := time.Duration(1+queued/s.cfg.Workers) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
 
 // submit admits a job spec: canonicalize, compute the cache key, answer
 // from the store when possible, reject when the queue is full, enqueue
@@ -462,7 +499,7 @@ func (s *Server) submit(spec *Spec) (*job, error) {
 	if s.draining {
 		s.mu.Unlock()
 		s.met.jobsRejected.Inc()
-		return nil, &submitError{code: 503, msg: "serve: draining"}
+		return nil, &submitError{code: 503, msg: "serve: draining", retryAfter: time.Second}
 	}
 	s.nextSeq++
 	j := &job{
@@ -490,11 +527,14 @@ func (s *Server) submit(spec *Spec) (*job, error) {
 	// under s.mu is race-free: submit is the only concurrent sender, so the
 	// queue can only drain between the check and the send — which also
 	// makes the send below non-blocking (len < QueueDepth <= cap).
-	if len(s.queue) >= s.cfg.QueueDepth {
+	if queued := len(s.queue); queued >= s.cfg.QueueDepth {
 		s.nextSeq-- // not admitted; reuse the seq
 		s.mu.Unlock()
 		s.met.jobsRejected.Inc()
-		return nil, &submitError{code: 429, msg: fmt.Sprintf("serve: queue full (%d jobs waiting)", s.cfg.QueueDepth)}
+		return nil, &submitError{
+			code: 429, msg: fmt.Sprintf("serve: queue full (%d jobs waiting)", s.cfg.QueueDepth),
+			retryAfter: s.retryAfterHint(queued),
+		}
 	}
 	s.queue <- j
 	s.jobs[j.id] = j

@@ -1,0 +1,224 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// StatusError is a non-2xx daemon answer. Retryable() encodes the sweep's
+// retry taxonomy: overload and gateway failures clear up, bad requests do
+// not, and a vanished job id (404 after a daemon restart re-keyed its jobs)
+// is handled by resubmitting — which the daemon's cache dedupes.
+type StatusError struct {
+	Code       int
+	Msg        string
+	RetryAfter time.Duration // parsed Retry-After, 0 if absent
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("sweep: daemon answered %d: %s", e.Code, e.Msg)
+}
+
+// Retryable reports whether another attempt can change the answer.
+func (e *StatusError) Retryable() bool {
+	switch e.Code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout, http.StatusNotFound:
+		return true
+	}
+	return false
+}
+
+// JobFailedError is a job that reached the daemon's failed state. The
+// admission gate canonicalizes specs before queueing, so a failure is
+// runtime trouble (an injected fault, a dying worker), not a bad cell —
+// the sweep retries it under the normal budget.
+type JobFailedError struct {
+	ID  string
+	Msg string
+}
+
+func (e *JobFailedError) Error() string {
+	return fmt.Sprintf("sweep: job %s failed: %s", e.ID, e.Msg)
+}
+
+// retryable classifies an attempt error. Anything that is not provably
+// deterministic — transport errors, timeouts, overload statuses, failed
+// jobs — is worth another attempt; only a non-retryable StatusError (400
+// bad spec) is fatal.
+func retryable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Retryable()
+	}
+	return true
+}
+
+// retryAfterOf extracts the server's Retry-After hint from an attempt
+// error, or 0.
+func retryAfterOf(err error) time.Duration {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
+}
+
+// Client speaks the gapserved job API with per-request timeouts. The zero
+// value is unusable; fill Endpoints and Policy (NewClient does).
+type Client struct {
+	// Endpoints are daemon base URLs. A cell's attempts rotate through them
+	// (cell index + attempt number), so a dead endpoint degrades the sweep
+	// instead of stalling it.
+	Endpoints []string
+	Policy    Policy
+	// HTTP is the underlying client. Per-request deadlines come from
+	// context timeouts, not HTTP.Client.Timeout, so one slow exchange
+	// cannot starve an unrelated poll.
+	HTTP *http.Client
+}
+
+// NewClient builds a client over the given endpoints.
+func NewClient(endpoints []string, policy Policy) *Client {
+	return &Client{Endpoints: endpoints, Policy: policy, HTTP: &http.Client{}}
+}
+
+// endpointFor rotates attempts across endpoints deterministically.
+func (c *Client) endpointFor(cellIndex, attempt int) string {
+	return c.Endpoints[(cellIndex+attempt-1)%len(c.Endpoints)]
+}
+
+// do runs one HTTP exchange under the policy's per-request timeout and
+// decodes the body into out (if non-nil) on 2xx. Non-2xx answers become
+// *StatusError with any Retry-After hint attached.
+func (c *Client) do(ctx context.Context, req *http.Request, out any) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.Policy.Timeout)
+	defer cancel()
+	resp, err := c.HTTP.Do(req.WithContext(ctx))
+	if err != nil {
+		return 0, fmt.Errorf("sweep: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, fmt.Errorf("sweep: read %s: %w", req.URL.Path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return resp.StatusCode, &StatusError{
+			Code:       resp.StatusCode,
+			Msg:        errorMessage(body),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("sweep: decode %s: %w", req.URL.Path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// errorMessage pulls the daemon's {"error": ...} detail out of a body,
+// falling back to the raw text.
+func errorMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// parseRetryAfter handles the delta-seconds form the daemon emits. The
+// HTTP-date form is not parsed: mapping it to a delay needs the local
+// clock, and the sweep's schedule must not depend on wall-clock readings.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Submit posts a job spec. A 200 means the daemon answered from its results
+// store; a 202 means the job was queued and must be awaited.
+func (c *Client) Submit(ctx context.Context, endpoint string, spec *serve.Spec) (*serve.JobView, bool, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, false, fmt.Errorf("sweep: marshal spec: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, endpoint+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var view serve.JobView
+	code, err := c.do(ctx, req, &view)
+	if err != nil {
+		return nil, false, err
+	}
+	return &view, code == http.StatusOK, nil
+}
+
+// GetJob fetches a job's current view.
+func (c *Client) GetJob(ctx context.Context, endpoint, id string) (*serve.JobView, error) {
+	req, err := http.NewRequest(http.MethodGet, endpoint+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var view serve.JobView
+	if _, err := c.do(ctx, req, &view); err != nil {
+		return nil, err
+	}
+	return &view, nil
+}
+
+// RunJob submits a spec and follows it to a terminal state: the cached
+// answer if the store has one, otherwise poll until done or failed. Any
+// error — including a failed job — is returned for the retry loop to
+// classify; a nil error always carries a view with a result.
+func (c *Client) RunJob(ctx context.Context, endpoint string, spec *serve.Spec) (*serve.JobView, error) {
+	view, cached, err := c.Submit(ctx, endpoint, spec)
+	if err != nil {
+		return nil, err
+	}
+	if cached || view.State == "done" {
+		return view, nil
+	}
+	ticker := time.NewTicker(c.Policy.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ticker.C:
+		}
+		v, err := c.GetJob(ctx, endpoint, view.ID)
+		if err != nil {
+			return nil, err
+		}
+		switch v.State {
+		case "done":
+			if v.Result == nil {
+				return nil, fmt.Errorf("sweep: job %s done without result", v.ID)
+			}
+			return v, nil
+		case "failed":
+			return nil, &JobFailedError{ID: v.ID, Msg: v.Error}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+)
+
+// FuzzDecodeLedger holds the codec to the same contract as the GAPCKP
+// fuzzer: arbitrary bytes never panic, and anything that decodes must
+// re-encode canonically — encode(decode(x)) decodes to the same records.
+func FuzzDecodeLedger(f *testing.F) {
+	seed, err := EncodeLedger(sampleRecords())
+	if err != nil {
+		f.Fatalf("encode seed: %v", err)
+	}
+	f.Add(seed)
+	f.Add([]byte(""))
+	f.Add([]byte("GAPSWEEP1 0000000000000000\n[]"))
+	f.Add([]byte("GAPSWEEP1 deadbeefdeadbeef\nnull"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeLedger(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeLedger(recs)
+		if err != nil {
+			t.Fatalf("re-encode of valid ledger failed: %v", err)
+		}
+		again, err := DecodeLedger(out)
+		if err != nil {
+			t.Fatalf("canonical re-encode does not decode: %v", err)
+		}
+		// Encode sorts by key, so compare in canonical order.
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+		a, _ := json.Marshal(recs)
+		b, _ := json.Marshal(again)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("records changed across canonical round trip:\n%s\nvs\n%s", a, b)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+// Package sweep is the fault-tolerant sweep client for gapserved: it fans a
+// threshold × partitions × seed grid out over one or more daemon endpoints
+// and survives every failure mode internal/faultinject can throw at the
+// wire — dropped connections, injected 503s, latency spikes, and daemons
+// SIGKILLed mid-solve. Three mechanisms carry the robustness story:
+//
+//   - a deterministic resilience policy (Policy): seeded exponential backoff
+//     whose jitter comes from a pre-split per-cell RNG, so a retry schedule
+//     is a pure function of (master seed, cell key) and never of wall-clock
+//     or scheduling order;
+//   - a durable ledger (Ledger): every cell's terminal state is committed to
+//     one checksummed file via atomic temp+rename before the sweep moves on,
+//     so a SIGKILLed sweep resumes without resubmitting completed cells;
+//   - graceful degradation (Runner): a cancelled sweep reports the partial
+//     grid with per-cell status instead of discarding completed work.
+//
+// Redundant solver work is impossible by construction rather than by luck:
+// the daemon's cache key + singleflight dedupe resubmissions, and its
+// checkpoints resume interrupted solves, so the client's retry loop can be
+// aggressive without inflating serve_solver_runs_total.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/serve"
+)
+
+// Grid is the sweep's cell space: a base job spec crossed with explicit
+// threshold, partitions, and seed axes. An empty axis means "inherit the
+// base value" (a single implicit point), so a DP sweep can leave Partitions
+// empty and a POP sweep can leave Thresholds empty without enumerating
+// meaningless variants.
+type Grid struct {
+	Base       serve.Spec
+	Thresholds []float64
+	Partitions []int
+	Seeds      []int64
+}
+
+// Cell is one point of the grid: a fully-specified job spec plus the
+// client-side identity the ledger is keyed by.
+type Cell struct {
+	// Index is the cell's position in enumeration order; reports and CSV
+	// rows preserve it so output order is independent of completion order.
+	Index int
+	// Name is the human-readable axis tuple, e.g. "thr=5/parts=2/seed=3".
+	Name string
+	// Key is the 16-hex fnv64a of the cell's spec JSON. It is a client-side
+	// identity (the daemon's cache key needs the model fingerprint, which
+	// only the daemon can compute); two runs of the same grid derive the
+	// same keys because Spec marshals in struct-field order.
+	Key string
+	// Spec is the job submitted for this cell.
+	Spec serve.Spec
+}
+
+// Cells enumerates the grid in deterministic nested order: thresholds
+// outermost, then partitions, then seeds.
+func (g *Grid) Cells() []*Cell {
+	thresholds := g.Thresholds
+	if len(thresholds) == 0 {
+		thresholds = []float64{g.Base.Threshold}
+	}
+	partitions := g.Partitions
+	if len(partitions) == 0 {
+		partitions = []int{g.Base.Partitions}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{g.Base.Seed}
+	}
+	cells := make([]*Cell, 0, len(thresholds)*len(partitions)*len(seeds))
+	for _, t := range thresholds {
+		for _, p := range partitions {
+			for _, s := range seeds {
+				spec := g.Base
+				spec.Threshold = t
+				spec.Partitions = p
+				spec.Seed = s
+				cells = append(cells, &Cell{
+					Index: len(cells),
+					Name:  fmt.Sprintf("thr=%g/parts=%d/seed=%d", t, p, s),
+					Key:   cellKey(&spec),
+					Spec:  spec,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// cellKey hashes the cell's canonical spec JSON. Marshal of a plain struct
+// is deterministic (fields in declaration order), so the key is stable
+// across processes — the property ledger resume depends on.
+func cellKey(spec *serve.Spec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("sweep: marshal spec: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func TestGridEnumeratesDeterministically(t *testing.T) {
+	g := &Grid{
+		Base:       serve.Spec{Topology: "figure1", Heuristic: "dp", Pairs: -1},
+		Thresholds: []float64{2, 5},
+		Seeds:      []int64{1, 2, 3},
+	}
+	cells := g.Cells()
+	if len(cells) != 6 {
+		t.Fatalf("enumerated %d cells, want 6", len(cells))
+	}
+	if cells[0].Name != "thr=2/parts=0/seed=1" || cells[5].Name != "thr=5/parts=0/seed=3" {
+		t.Fatalf("enumeration order wrong: first %q last %q", cells[0].Name, cells[5].Name)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+	}
+	// Keys are stable across enumerations and unique across cells.
+	again := g.Cells()
+	seen := map[string]bool{}
+	for i := range cells {
+		if cells[i].Key != again[i].Key {
+			t.Fatalf("cell %d key unstable: %s vs %s", i, cells[i].Key, again[i].Key)
+		}
+		if seen[cells[i].Key] {
+			t.Fatalf("cell %d key %s duplicated", i, cells[i].Key)
+		}
+		seen[cells[i].Key] = true
+	}
+}
+
+func TestGridEmptyAxesInheritBase(t *testing.T) {
+	g := &Grid{Base: serve.Spec{Topology: "b4", Heuristic: "pop", Threshold: 7, Partitions: 4, Seed: 9}}
+	cells := g.Cells()
+	if len(cells) != 1 {
+		t.Fatalf("empty axes enumerated %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Spec.Threshold != 7 || c.Spec.Partitions != 4 || c.Spec.Seed != 9 {
+		t.Fatalf("base values not inherited: %+v", c.Spec)
+	}
+}
+
+func TestBackoffIsDeterministicPerCell(t *testing.T) {
+	p := Policy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	var first []time.Duration
+	for run := 0; run < 2; run++ {
+		rng := CellRNG(42, "00000000000000aa")
+		var seq []time.Duration
+		for attempt := 1; attempt <= 6; attempt++ {
+			seq = append(seq, p.Backoff(attempt, rng))
+		}
+		if run == 0 {
+			first = seq
+			continue
+		}
+		for i := range seq {
+			if seq[i] != first[i] {
+				t.Fatalf("attempt %d: %s vs %s across runs", i+1, seq[i], first[i])
+			}
+		}
+	}
+	// Envelope: attempt k is jitter*min(cap, base<<(k-1)) with jitter in [0.5, 1.5).
+	rng := CellRNG(42, "00000000000000aa")
+	for attempt := 1; attempt <= 6; attempt++ {
+		base := 100 * time.Millisecond << (attempt - 1)
+		if base > time.Second {
+			base = time.Second
+		}
+		got := p.Backoff(attempt, rng)
+		if got < base/2 || got >= base*3/2 {
+			t.Fatalf("attempt %d backoff %s outside [%s, %s)", attempt, got, base/2, base*3/2)
+		}
+	}
+	// Different cells draw different jitter sequences.
+	a := p.Backoff(1, CellRNG(42, "00000000000000aa"))
+	b := p.Backoff(1, CellRNG(42, "00000000000000bb"))
+	if a == b {
+		t.Log("warning: two cells drew identical first jitter (possible but unlikely)")
+	}
+}
+
+func TestDelayHonorsRetryAfter(t *testing.T) {
+	p := Policy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	rng := CellRNG(1, "cell")
+	if d := p.Delay(1, 3*time.Second, rng); d != 3*time.Second {
+		t.Fatalf("Retry-After ignored: delay %s, want 3s", d)
+	}
+	if d := p.Delay(1, 0, rng); d > 50*time.Millisecond {
+		t.Fatalf("no hint should fall back to backoff, got %s", d)
+	}
+}

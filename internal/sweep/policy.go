@@ -1,0 +1,110 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Policy is the deterministic resilience policy: how many times a cell may
+// be attempted, how long to wait between attempts, and how long any single
+// HTTP exchange may take. The zero value is unusable; call Default or fill
+// every field.
+type Policy struct {
+	// MaxAttempts bounds the retry budget per cell; once spent the cell is
+	// marked exhausted with a typed terminal error (*ExhaustedError).
+	MaxAttempts int
+	// BaseDelay is the first backoff step; attempt k waits
+	// jitter * min(MaxDelay, BaseDelay<<(k-1)).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Timeout bounds each HTTP request (submit or poll), so a proxy that
+	// swallows a request delays the sweep by one timeout, not forever.
+	Timeout time.Duration
+	// PollInterval is the job-status polling cadence while a cell solves.
+	PollInterval time.Duration
+}
+
+// DefaultPolicy mirrors the cmd/gapsweep flag defaults.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:  8,
+		BaseDelay:    100 * time.Millisecond,
+		MaxDelay:     5 * time.Second,
+		Timeout:      10 * time.Second,
+		PollInterval: 50 * time.Millisecond,
+	}
+}
+
+// Backoff returns the delay before retry number attempt (1-based count of
+// failures so far), drawing one jitter factor in [0.5, 1.5) from rng. The
+// rng must be the cell's pre-split RNG (see CellRNG): each cell consumes
+// its own sequence, so the schedule is independent of how the scheduler
+// interleaves cells and of wall-clock time — the property gapvet's detrand
+// analyzer exists to protect.
+func (p Policy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	jitter := 0.5 + rng.Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// Delay picks the wait before the next attempt: a server-supplied
+// Retry-After hint wins outright (the daemon derives it from queue depth,
+// which the client cannot estimate), otherwise seeded exponential backoff.
+func (p Policy) Delay(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	return p.Backoff(attempt, rng)
+}
+
+// CellRNG derives the per-cell jitter RNG by splitting the master seed with
+// the cell key. Pre-splitting (rather than sharing one RNG across workers)
+// keeps every cell's draw sequence deterministic under concurrency.
+func CellRNG(masterSeed int64, cellKey string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", masterSeed, cellKey)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// ExhaustedError is the typed terminal error for a cell whose retry budget
+// ran out. It wraps the last attempt's error so errors.Is/As reach the
+// underlying cause.
+type ExhaustedError struct {
+	Cell     string // cell name
+	Attempts int
+	Last     error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("sweep: cell %s exhausted after %d attempts: %v", e.Cell, e.Attempts, e.Last)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// FatalError is the typed terminal error for a cell the daemon rejected in
+// a way no retry can fix (a 400 bad spec, most commonly). Retrying would
+// burn the budget on a deterministic answer.
+type FatalError struct {
+	Cell string
+	Err  error
+}
+
+func (e *FatalError) Error() string {
+	return fmt.Sprintf("sweep: cell %s failed terminally: %v", e.Cell, e.Err)
+}
+
+func (e *FatalError) Unwrap() error { return e.Err }
+
+// ErrInterrupted marks a sweep cut short by context cancellation (SIGINT);
+// the report built alongside it still carries every completed cell.
+var ErrInterrupted = errors.New("sweep: interrupted")

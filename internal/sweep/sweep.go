@@ -1,0 +1,352 @@
+package sweep
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Runner drives one sweep: it enumerates the grid, skips cells the ledger
+// already holds terminal answers for, and fans the rest over the client's
+// endpoints with per-cell retry loops. Workers communicate exclusively over
+// channels — cells in, record snapshots out — and a single collector owns
+// the ledger, so no two goroutines ever share a mutable record.
+type Runner struct {
+	Client *Client
+	Ledger *Ledger
+	Grid   *Grid
+	// Seed is the master jitter seed, pre-split per cell (see CellRNG).
+	Seed int64
+	// Workers is the client-side concurrency (default 1).
+	Workers int
+	// Registry receives sweep_* metrics when non-nil.
+	Registry *obs.Registry
+	// Logf receives progress lines when non-nil.
+	Logf func(format string, args ...any)
+}
+
+type metrics struct {
+	cells, resumed, retries            *obs.Counter
+	done, truncated, exhausted, failed *obs.Counter
+	inflight                           *obs.Gauge
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	if r == nil {
+		r = obs.NewRegistry()
+	}
+	return &metrics{
+		cells:     r.Counter("sweep_cells_total"),
+		resumed:   r.Counter("sweep_cells_resumed_total"),
+		retries:   r.Counter("sweep_retries_total"),
+		done:      r.Counter("sweep_cells_done_total"),
+		truncated: r.Counter("sweep_cells_truncated_total"),
+		exhausted: r.Counter("sweep_cells_exhausted_total"),
+		failed:    r.Counter("sweep_cells_failed_total"),
+		inflight:  r.Gauge("sweep_cells_inflight"),
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Report is the sweep's outcome: every cell in grid-enumeration order plus
+// the tallies the SUMMARY line and exit code are derived from.
+type Report struct {
+	Cells       []*CellRecord `json:"cells"`
+	Total       int           `json:"total"`
+	Done        int           `json:"done"`
+	Truncated   int           `json:"truncated"`
+	Exhausted   int           `json:"exhausted"`
+	Failed      int           `json:"failed"`
+	Pending     int           `json:"pending"` // not yet terminal when the sweep stopped
+	Resumed     int           `json:"resumed"` // answered from the ledger, never resubmitted
+	Attempts    int           `json:"attempts"`
+	Interrupted bool          `json:"interrupted"`
+}
+
+// Run executes the sweep until the grid is terminal or ctx is cancelled.
+// Cancellation is graceful degradation, not failure: the returned report
+// carries every completed cell alongside ErrInterrupted, and the ledger
+// already holds everything the report holds.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	met := newMetrics(r.Registry)
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	cells := r.Grid.Cells()
+	var pending []*Cell
+	resumed := 0
+	for _, c := range cells {
+		if rec := r.Ledger.Get(c.Key); rec != nil && (rec.Status == StatusDone || rec.Status == StatusTruncated) {
+			resumed++
+			continue
+		}
+		pending = append(pending, c)
+	}
+	met.cells.Add(int64(len(cells)))
+	met.resumed.Add(int64(resumed))
+	r.logf("sweep: %d cells, %d resumed from ledger, %d to run", len(cells), resumed, len(pending))
+
+	jobs := make(chan *Cell)
+	updates := make(chan *CellRecord)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				met.inflight.Add(1)
+				r.runCell(ctx, c, updates, met)
+				met.inflight.Add(-1)
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, c := range pending {
+			select {
+			case jobs <- c:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(updates)
+	}()
+
+	// The collector is the only goroutine that touches the ledger while
+	// workers run. A failed flush is logged and remembered, not fatal: the
+	// sweep keeps answering cells, and the caller learns durability was
+	// lost through the returned error.
+	var ledgerErr error
+	for rec := range updates {
+		if err := r.Ledger.Put(rec); err != nil {
+			if ledgerErr == nil {
+				ledgerErr = err
+			}
+			r.logf("sweep: ledger write failed (continuing): %v", err)
+		}
+		if rec.Status != StatusRetrying {
+			r.logf("sweep: cell %s %s after %d attempt(s)", rec.Name, rec.Status, rec.Attempts)
+		}
+	}
+
+	rep := r.report(cells, resumed)
+	for _, rec := range rep.Cells {
+		switch rec.Status {
+		case StatusDone:
+			met.done.Inc()
+		case StatusTruncated:
+			met.truncated.Inc()
+		case StatusExhausted:
+			met.exhausted.Inc()
+		case StatusFailed:
+			met.failed.Inc()
+		}
+	}
+	if ctx.Err() != nil {
+		rep.Interrupted = true
+		return rep, fmt.Errorf("%w: %d of %d cells terminal", ErrInterrupted, rep.Total-rep.Pending, rep.Total)
+	}
+	return rep, ledgerErr
+}
+
+// report assembles the final view in grid order. Cells the interrupt
+// prevented from ever starting get a synthetic retrying record (attempts 0)
+// so the partial-grid summary accounts for the whole grid.
+func (r *Runner) report(cells []*Cell, resumed int) *Report {
+	rep := &Report{Total: len(cells), Resumed: resumed}
+	for _, c := range cells {
+		rec := r.Ledger.Get(c.Key)
+		if rec == nil {
+			spec, _ := json.Marshal(c.Spec)
+			rec = &CellRecord{Key: c.Key, Name: c.Name, Index: c.Index, Spec: spec, Status: StatusRetrying}
+		}
+		rep.Cells = append(rep.Cells, rec)
+		rep.Attempts += rec.Attempts
+		switch rec.Status {
+		case StatusDone:
+			rep.Done++
+		case StatusTruncated:
+			rep.Truncated++
+		case StatusExhausted:
+			rep.Exhausted++
+		case StatusFailed:
+			rep.Failed++
+		default:
+			rep.Pending++
+		}
+	}
+	return rep
+}
+
+// runCell is one cell's retry loop. Every state transition is sent to the
+// collector as a fresh snapshot — the durable "retrying" record written
+// before each attempt is what lets a SIGKILLed client know the cell was
+// in flight.
+func (r *Runner) runCell(ctx context.Context, c *Cell, updates chan<- *CellRecord, met *metrics) {
+	rng := CellRNG(r.Seed, c.Key)
+	specJSON, err := json.Marshal(c.Spec)
+	if err != nil {
+		updates <- &CellRecord{Key: c.Key, Name: c.Name, Index: c.Index, Status: StatusFailed, Error: err.Error()}
+		return
+	}
+	snap := func(status string, attempts int, endpoint, errMsg string, res *serve.StoredResult) *CellRecord {
+		return &CellRecord{
+			Key: c.Key, Name: c.Name, Index: c.Index, Spec: specJSON,
+			Status: status, Attempts: attempts, Endpoint: endpoint, Error: errMsg, Result: res,
+		}
+	}
+	policy := r.Client.Policy
+	var last error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			updates <- snap(StatusRetrying, attempt-1, "", "interrupted", nil)
+			return
+		}
+		if attempt > 1 {
+			met.retries.Inc()
+		}
+		endpoint := r.Client.endpointFor(c.Index, attempt)
+		updates <- snap(StatusRetrying, attempt, endpoint, "", nil)
+		spec := c.Spec
+		view, err := r.Client.RunJob(ctx, endpoint, &spec)
+		if err == nil {
+			updates <- snap(terminalStatus(&c.Spec, view.Result), attempt, endpoint, "", view.Result)
+			return
+		}
+		last = err
+		if ctx.Err() != nil {
+			updates <- snap(StatusRetrying, attempt, endpoint, "interrupted: "+err.Error(), nil)
+			return
+		}
+		if !retryable(err) {
+			fatal := &FatalError{Cell: c.Name, Err: err}
+			updates <- snap(StatusFailed, attempt, endpoint, fatal.Error(), nil)
+			return
+		}
+		if attempt == policy.MaxAttempts {
+			break
+		}
+		delay := policy.Delay(attempt, retryAfterOf(err), rng)
+		r.logf("sweep: cell %s attempt %d failed (%v), retrying in %s", c.Name, attempt, err, delay)
+		if !sleepCtx(ctx, delay) {
+			updates <- snap(StatusRetrying, attempt, endpoint, "interrupted: "+err.Error(), nil)
+			return
+		}
+	}
+	ex := &ExhaustedError{Cell: c.Name, Attempts: policy.MaxAttempts, Last: last}
+	updates <- snap(StatusExhausted, policy.MaxAttempts, "", ex.Error(), nil)
+}
+
+// terminalStatus maps a job's result onto the cell taxonomy: a
+// budget-independent answer is done; anything the budget truncated is
+// truncated (and, because the daemon never caches truncated answers, a
+// later sweep with a bigger budget resumes the solve from its checkpoint).
+func terminalStatus(spec *serve.Spec, res *serve.StoredResult) string {
+	if res == nil {
+		return StatusTruncated
+	}
+	switch res.Status {
+	case "optimal", "infeasible", "unbounded":
+		return StatusDone
+	case "feasible":
+		if spec.TargetGap > 0 {
+			if g, err := strconv.ParseFloat(res.Gap, 64); err == nil && g >= spec.TargetGap {
+				return StatusDone
+			}
+		}
+		return StatusTruncated
+	default: // interrupted, no-incumbent
+		return StatusTruncated
+	}
+}
+
+// sleepCtx waits d or until ctx is cancelled, reporting whether the full
+// wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// csvHeader lists only columns that are pure functions of the cell spec —
+// no wall time, no attempt counts, no endpoints — so a chaos-run CSV and a
+// fault-free CSV of the same grid diff bit-identical. The nondeterministic
+// telemetry lives in the JSON report instead.
+var csvHeader = []string{
+	"cell", "topology", "heuristic", "threshold", "partitions", "seed",
+	"status", "solver_status", "gap", "normalized_gap", "opt_value",
+	"heur_value", "bound", "nodes", "lp_solves", "lp_iters",
+}
+
+// WriteCSV emits the deterministic per-cell grid in enumeration order.
+func (rep *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, rec := range rep.Cells {
+		var spec serve.Spec
+		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+			return fmt.Errorf("sweep: cell %s spec: %w", rec.Name, err)
+		}
+		row := []string{
+			rec.Name, spec.Topology, spec.Heuristic,
+			strconv.FormatFloat(spec.Threshold, 'g', -1, 64),
+			strconv.Itoa(spec.Partitions),
+			strconv.FormatInt(spec.Seed, 10),
+			rec.Status,
+		}
+		if res := rec.Result; res != nil {
+			row = append(row, res.Status, res.Gap, res.Normalized, res.OptValue,
+				res.HeurValue, res.Bound,
+				strconv.FormatInt(res.Nodes, 10),
+				strconv.FormatInt(res.LPSolves, 10),
+				strconv.FormatInt(res.LPIters, 10))
+		} else {
+			row = append(row, "", "", "", "", "", "", "", "", "")
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the full report — including the nondeterministic fields
+// (attempts, endpoints, wall seconds) the CSV deliberately omits.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Summary is the one-line digest printed at the end of a sweep (complete or
+// interrupted).
+func (rep *Report) Summary() string {
+	return fmt.Sprintf("SUMMARY cells=%d done=%d truncated=%d exhausted=%d failed=%d pending=%d resumed=%d attempts=%d interrupted=%v",
+		rep.Total, rep.Done, rep.Truncated, rep.Exhausted, rep.Failed,
+		rep.Pending, rep.Resumed, rep.Attempts, rep.Interrupted)
+}

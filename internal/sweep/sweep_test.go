@@ -1,0 +1,266 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// stubDaemon fakes just enough of the gapserved job API to script failure
+// sequences: answer[i] is what submit number i+1 gets; past the end every
+// submit is answered 200 with a done view (the daemon cache-hit path).
+type stubDaemon struct {
+	mu      sync.Mutex
+	submits int
+	answers []stubAnswer
+}
+
+type stubAnswer struct {
+	code       int
+	retryAfter string
+}
+
+func doneView(spec []byte) serve.JobView {
+	return serve.JobView{
+		ID: "job-1", State: "done", Key: "00000000deadbeef", Spec: spec,
+		Result: &serve.StoredResult{Key: "00000000deadbeef", Status: "optimal", Gap: "10", Normalized: "0.2", Nodes: 3},
+	}
+}
+
+func (d *stubDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost || r.URL.Path != "/v1/jobs" {
+		http.NotFound(w, r)
+		return
+	}
+	body, _ := json.Marshal(map[string]string{"topology": "figure1"})
+	d.mu.Lock()
+	n := d.submits
+	d.submits++
+	d.mu.Unlock()
+	if n < len(d.answers) {
+		a := d.answers[n]
+		if a.retryAfter != "" {
+			w.Header().Set("Retry-After", a.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(a.code)
+		json.NewEncoder(w).Encode(map[string]string{"error": "scripted failure"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(doneView(body))
+}
+
+func (d *stubDaemon) submitCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.submits
+}
+
+func testPolicy() Policy {
+	return Policy{
+		MaxAttempts:  3,
+		BaseDelay:    time.Millisecond,
+		MaxDelay:     5 * time.Millisecond,
+		Timeout:      5 * time.Second,
+		PollInterval: 5 * time.Millisecond,
+	}
+}
+
+func oneCellGrid() *Grid {
+	return &Grid{Base: serve.Spec{Topology: "figure1", Heuristic: "dp"}, Thresholds: []float64{5}, Seeds: []int64{1}}
+}
+
+func newTestRunner(t *testing.T, url string, grid *Grid, policy Policy) (*Runner, *Ledger) {
+	t.Helper()
+	led, err := OpenLedger(filepath.Join(t.TempDir(), "sweep.ledger"), nil)
+	if err != nil {
+		t.Fatalf("open ledger: %v", err)
+	}
+	return &Runner{
+		Client: NewClient([]string{url}, policy),
+		Ledger: led,
+		Grid:   grid,
+		Seed:   42,
+		Logf:   t.Logf,
+	}, led
+}
+
+// TestSweepHonorsRetryAfter is satellite (a)'s client half: a 503 carrying
+// Retry-After: 1 must delay the retry by the server's hint, not by the
+// millisecond-scale backoff the policy would otherwise draw.
+func TestSweepHonorsRetryAfter(t *testing.T) {
+	stub := &stubDaemon{answers: []stubAnswer{{code: http.StatusServiceUnavailable, retryAfter: "1"}}}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+	r, _ := newTestRunner(t, ts.URL, oneCellGrid(), testPolicy())
+	start := time.Now()
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Done != 1 || rep.Cells[0].Attempts != 2 {
+		t.Fatalf("report: %s", rep.Summary())
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("sweep finished in %s; the 1s Retry-After hint was not honored", elapsed)
+	}
+}
+
+func TestSweepFatalErrorDoesNotRetry(t *testing.T) {
+	stub := &stubDaemon{answers: []stubAnswer{{code: http.StatusBadRequest}, {code: http.StatusBadRequest}}}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+	r, led := newTestRunner(t, ts.URL, oneCellGrid(), testPolicy())
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Failed != 1 || rep.Done != 0 {
+		t.Fatalf("report: %s", rep.Summary())
+	}
+	if stub.submitCount() != 1 {
+		t.Fatalf("a 400 was retried: %d submits", stub.submitCount())
+	}
+	rec := rep.Cells[0]
+	if rec.Status != StatusFailed || !strings.Contains(rec.Error, "400") {
+		t.Fatalf("cell record: %+v", rec)
+	}
+	if led.Get(rec.Key).Status != StatusFailed {
+		t.Fatal("terminal failure not in the ledger")
+	}
+}
+
+func TestSweepExhaustsRetryBudget(t *testing.T) {
+	stub := &stubDaemon{answers: []stubAnswer{
+		{code: http.StatusServiceUnavailable},
+		{code: http.StatusServiceUnavailable},
+		{code: http.StatusServiceUnavailable},
+		{code: http.StatusServiceUnavailable},
+	}}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+	reg := obs.NewRegistry()
+	r, _ := newTestRunner(t, ts.URL, oneCellGrid(), testPolicy())
+	r.Registry = reg
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Exhausted != 1 {
+		t.Fatalf("report: %s", rep.Summary())
+	}
+	if stub.submitCount() != 3 {
+		t.Fatalf("retry budget of 3 spent %d submits", stub.submitCount())
+	}
+	rec := rep.Cells[0]
+	if rec.Status != StatusExhausted || rec.Attempts != 3 || !strings.Contains(rec.Error, "exhausted") {
+		t.Fatalf("cell record: %+v", rec)
+	}
+	snap := reg.Snapshot()
+	if snap["sweep_retries_total"] != 2 || snap["sweep_cells_exhausted_total"] != 1 {
+		t.Fatalf("metrics: %v", snap)
+	}
+}
+
+// TestSweepResumesFromLedger is the tentpole's resume property in
+// miniature: a second run over the same grid and ledger never resubmits a
+// terminal cell.
+func TestSweepResumesFromLedger(t *testing.T) {
+	grid := &Grid{
+		Base:       serve.Spec{Topology: "figure1", Heuristic: "dp"},
+		Thresholds: []float64{2, 5},
+		Seeds:      []int64{1, 2},
+	}
+	stub := &stubDaemon{}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+	path := filepath.Join(t.TempDir(), "sweep.ledger")
+	led, err := OpenLedger(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Client: NewClient([]string{ts.URL}, testPolicy()), Ledger: led, Grid: grid, Seed: 1}
+	rep, err := r.Run(context.Background())
+	if err != nil || rep.Done != 4 {
+		t.Fatalf("first run: %v, %s", err, rep.Summary())
+	}
+	if stub.submitCount() != 4 {
+		t.Fatalf("first run submitted %d times, want 4", stub.submitCount())
+	}
+
+	led2, err := OpenLedger(path, nil)
+	if err != nil {
+		t.Fatalf("reopen ledger: %v", err)
+	}
+	stub2 := &stubDaemon{}
+	ts2 := httptest.NewServer(stub2)
+	defer ts2.Close()
+	r2 := &Runner{Client: NewClient([]string{ts2.URL}, testPolicy()), Ledger: led2, Grid: grid, Seed: 1}
+	rep2, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if rep2.Resumed != 4 || rep2.Done != 4 || stub2.submitCount() != 0 {
+		t.Fatalf("resume resubmitted work: %s (%d submits)", rep2.Summary(), stub2.submitCount())
+	}
+}
+
+// TestSweepInterruptReportsPartialGrid: cancelling mid-sweep degrades to a
+// partial report (ErrInterrupted) instead of discarding completed cells.
+func TestSweepInterruptReportsPartialGrid(t *testing.T) {
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	first := make(chan struct{}, 1)
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case first <- struct{}{}:
+			// First cell answers instantly.
+			json.NewEncoder(w).Encode(doneView([]byte(`{}`)))
+		default:
+			// Every later cell hangs until the test ends.
+			<-release
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	defer close(release)
+
+	grid := &Grid{Base: serve.Spec{Topology: "figure1", Heuristic: "dp"}, Thresholds: []float64{1, 2, 3}, Seeds: []int64{1}}
+	r, led := newTestRunner(t, ts.URL, grid, testPolicy())
+	r.Workers = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel once the first cell has been recorded done.
+		for led.Get(grid.Cells()[0].Key) == nil || led.Get(grid.Cells()[0].Key).Status != StatusDone {
+			time.Sleep(2 * time.Millisecond)
+		}
+		cancel()
+	}()
+	rep, err := r.Run(ctx)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("run error = %v, want ErrInterrupted", err)
+	}
+	if !rep.Interrupted || rep.Done != 1 || rep.Done+rep.Pending != rep.Total {
+		t.Fatalf("partial report wrong: %s", rep.Summary())
+	}
+	var csv strings.Builder
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != rep.Total+1 {
+		t.Fatalf("partial CSV has %d lines, want %d", lines, rep.Total+1)
+	}
+}
